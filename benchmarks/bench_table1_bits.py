@@ -1,0 +1,83 @@
+"""Table 1, line 3: control information per message (bits).
+
+Paper values: ABD-unbounded "unbounded" (grows with the number of writes),
+ABD-bounded O(n^5), Attiya O(n^3), two-bit algorithm exactly 2.
+
+The benchmark measures the maximum number of control bits observed on the
+wire over write streams of increasing length:
+
+* the two-bit algorithm must sit at exactly 2 regardless of the stream length;
+* ABD's maximum must grow (logarithmically in the write count);
+* the modulo-M executable emulation (standing in for the bounded baselines)
+  must stay below its fixed bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bits import measure_control_bits
+from repro.registers.bounded import DEFAULT_MODULUS
+
+from benchmarks.conftest import report
+
+WRITE_COUNTS = [10, 50, 200]
+
+
+def test_two_bit_control_bits_constant(benchmark):
+    """The headline claim: never more than two control bits on the wire."""
+    rows = []
+    for writes in WRITE_COUNTS:
+        measurement = measure_control_bits("two-bit", n=5, writes=writes, seed=0)
+        assert measurement.max_control_bits == 2
+        rows.append([writes, "2", measurement.max_control_bits, round(measurement.mean_control_bits, 2)])
+    report(
+        "Table 1 line 3 — control bits per message (two-bit)",
+        ["writes", "paper", "measured max", "measured mean"],
+        rows,
+    )
+    benchmark(lambda: measure_control_bits("two-bit", n=5, writes=WRITE_COUNTS[0], seed=0))
+
+
+def test_abd_control_bits_unbounded_growth(benchmark):
+    """ABD's sequence numbers make the control size grow with the write count."""
+    rows = []
+    previous = 0
+    for writes in WRITE_COUNTS:
+        measurement = measure_control_bits("abd", n=5, writes=writes, seed=0)
+        assert measurement.max_control_bits >= 3 + math.floor(math.log2(writes))
+        assert measurement.max_control_bits >= previous
+        previous = measurement.max_control_bits
+        rows.append([writes, "unbounded (grows)", measurement.max_control_bits])
+    report(
+        "Table 1 line 3 — control bits per message (ABD, unbounded seqnums)",
+        ["writes", "paper", "measured max"],
+        rows,
+    )
+    benchmark(lambda: measure_control_bits("abd", n=5, writes=WRITE_COUNTS[0], seed=0))
+
+
+def test_bounded_emulation_control_bits_bounded(benchmark):
+    """The modulo-M stand-in for the bounded baselines keeps a fixed bound."""
+    bound = 3 + 2 * max(1, (DEFAULT_MODULUS - 1).bit_length())
+    rows = []
+    for writes in WRITE_COUNTS:
+        measurement = measure_control_bits("abd-bounded-emulation", n=5, writes=writes, seed=0)
+        assert measurement.max_control_bits <= bound
+        rows.append([writes, f"<= {bound} (bounded)", measurement.max_control_bits])
+    report(
+        "Table 1 line 3 — control bits per message (bounded emulation)",
+        ["writes", "bound", "measured max"],
+        rows,
+    )
+    benchmark(lambda: measure_control_bits("abd-bounded-emulation", n=5, writes=WRITE_COUNTS[0], seed=0))
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_two_bit_control_bits_independent_of_n(benchmark, n):
+    """Two control bits regardless of the system size as well."""
+    measurement = measure_control_bits("two-bit", n=n, writes=20, seed=0)
+    assert measurement.max_control_bits == 2
+    benchmark(lambda: measure_control_bits("two-bit", n=n, writes=10, seed=0))

@@ -1,0 +1,67 @@
+"""Table 1, line 4: per-process local memory.
+
+Paper values: ABD-unbounded "unbounded" (in bit-width of its counters),
+ABD-bounded O(n^6), Attiya O(n^5), two-bit "unbounded" (the full history of
+written values plus two arrays of n sequence numbers).
+
+The benchmark measures per-process word counts after write streams of
+increasing length and checks the two shapes the paper describes:
+
+* the two-bit algorithm's footprint grows linearly with the number of writes
+  (one word per value kept) — the price of counter-free messages;
+* ABD's word count stays flat (a single value plus a sequence number).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memory import measure_local_memory
+
+from benchmarks.conftest import report
+
+WRITE_COUNTS = [10, 50, 200]
+
+
+def test_two_bit_memory_grows_with_history(benchmark):
+    rows = []
+    previous = None
+    for writes in WRITE_COUNTS:
+        measurement = measure_local_memory("two-bit", n=5, writes=writes, seed=0)
+        # history (writes + initial value) + w_sync (n) + r_sync (n)
+        assert measurement.max_words == writes + 1 + 2 * 5
+        if previous is not None:
+            assert measurement.max_words > previous
+        previous = measurement.max_words
+        rows.append([writes, "unbounded (grows with writes)", measurement.max_words])
+    report(
+        "Table 1 line 4 — local memory (two-bit), words per process",
+        ["writes", "paper", "measured max words"],
+        rows,
+    )
+    benchmark(lambda: measure_local_memory("two-bit", n=5, writes=WRITE_COUNTS[0], seed=0))
+
+
+def test_abd_memory_stays_flat(benchmark):
+    rows = []
+    values = []
+    for writes in WRITE_COUNTS:
+        measurement = measure_local_memory("abd", n=5, writes=writes, seed=0)
+        values.append(measurement.max_words)
+        rows.append([writes, "O(1) words (unbounded bit-width only)", measurement.max_words])
+    assert len(set(values)) == 1, "ABD's word count must not grow with the write count"
+    report(
+        "Table 1 line 4 — local memory (ABD), words per process",
+        ["writes", "paper", "measured max words"],
+        rows,
+    )
+    benchmark(lambda: measure_local_memory("abd", n=5, writes=WRITE_COUNTS[0], seed=0))
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_two_bit_memory_scales_with_n_only_linearly(benchmark, n):
+    """The n-dependent part of the footprint is the two sequence-number arrays."""
+    writes = 20
+    measurement = measure_local_memory("two-bit", n=n, writes=writes, seed=0)
+    assert measurement.max_words == writes + 1 + 2 * n
+    benchmark(lambda: measure_local_memory("two-bit", n=n, writes=10, seed=0))

@@ -1,0 +1,113 @@
+"""Table 1, lines 1-2: messages per write and per read operation.
+
+Paper values (per operation):
+
+===========  =============  ============
+algorithm    write          read
+===========  =============  ============
+ABD          O(n)  = 2(n-1)   O(n) = 4(n-1)
+two-bit      O(n^2) = n(n-1)  O(n) = 2(n-1)
+===========  =============  ============
+
+The benchmark measures isolated operations (drained to quiescence so every
+message is attributable to exactly one operation) for a sweep of system
+sizes, and asserts the exact counts above — not just the asymptotics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import messages_per_operation
+from repro.registers.base import OperationKind
+from repro.registers.costmodels import model_by_name
+from repro.sim.delays import FixedDelay
+from repro.workloads import WorkloadSpec, run_workload
+
+from benchmarks.conftest import report
+
+ALGORITHMS = ["abd", "two-bit"]
+
+
+def _isolated_run(algorithm: str, n: int, samples: int = 4):
+    spec = WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=samples,
+        reads_per_reader=1,
+        delay_model=FixedDelay(1.0),
+        isolated_operations=True,
+        seed=0,
+    )
+    return run_workload(spec)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_write_message_complexity(benchmark, algorithm, system_sizes):
+    """Table 1 line 1 — #msgs per write, swept over n."""
+    rows = []
+    for n in system_sizes:
+        result = _isolated_run(algorithm, n)
+        counts = messages_per_operation(result, OperationKind.WRITE)
+        measured = sum(counts) / len(counts)
+        expected = model_by_name(algorithm).write_messages.value(n)
+        assert measured == pytest.approx(expected)
+        rows.append([n, model_by_name(algorithm).write_messages.formula, int(expected), measured])
+    report(
+        f"Table 1 line 1 — messages per write ({algorithm})",
+        ["n", "paper", "paper (exact)", "measured"],
+        rows,
+    )
+    # The timed kernel: one isolated write on the largest system.
+    n = system_sizes[-1]
+    benchmark(lambda: _isolated_run(algorithm, n, samples=1))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_read_message_complexity(benchmark, algorithm, system_sizes):
+    """Table 1 line 2 — #msgs per read, swept over n."""
+    rows = []
+    for n in system_sizes:
+        result = _isolated_run(algorithm, n)
+        counts = messages_per_operation(result, OperationKind.READ)
+        measured = sum(counts) / len(counts)
+        expected = model_by_name(algorithm).read_messages.value(n)
+        assert measured == pytest.approx(expected)
+        rows.append([n, model_by_name(algorithm).read_messages.formula, int(expected), measured])
+    report(
+        f"Table 1 line 2 — messages per read ({algorithm})",
+        ["n", "paper", "paper (exact)", "measured"],
+        rows,
+    )
+    n = system_sizes[-1]
+    benchmark(lambda: _isolated_run(algorithm, n, samples=1))
+
+
+def test_read_write_crossover(benchmark, system_sizes):
+    """The shape Table 1 implies: two-bit wins on reads (2x fewer messages),
+    ABD wins on writes (n/2 x fewer messages), for every n."""
+    rows = []
+    for n in system_sizes:
+        two_bit = _isolated_run("two-bit", n)
+        abd = _isolated_run("abd", n)
+        tb_read = sum(messages_per_operation(two_bit, OperationKind.READ)) / max(
+            1, len(messages_per_operation(two_bit, OperationKind.READ))
+        )
+        abd_read = sum(messages_per_operation(abd, OperationKind.READ)) / max(
+            1, len(messages_per_operation(abd, OperationKind.READ))
+        )
+        tb_write = sum(messages_per_operation(two_bit, OperationKind.WRITE)) / max(
+            1, len(messages_per_operation(two_bit, OperationKind.WRITE))
+        )
+        abd_write = sum(messages_per_operation(abd, OperationKind.WRITE)) / max(
+            1, len(messages_per_operation(abd, OperationKind.WRITE))
+        )
+        assert tb_read < abd_read
+        assert tb_write > abd_write
+        rows.append([n, tb_read, abd_read, tb_write, abd_write])
+    report(
+        "read/write message trade-off (two-bit vs ABD)",
+        ["n", "two-bit read", "abd read", "two-bit write", "abd write"],
+        rows,
+    )
+    benchmark(lambda: _isolated_run("two-bit", system_sizes[-1], samples=1))

@@ -1,0 +1,142 @@
+"""Table 1, lines 5-6: time complexity of write and read (in delta units).
+
+Paper values (failure-free run, message delays bounded by delta, local
+computation instantaneous):
+
+===========  ======  =====
+algorithm    write   read
+===========  ======  =====
+ABD          2 d     4 d
+ABD bounded  12 d    12 d
+Attiya       14 d    18 d
+two-bit      2 d     4 d
+===========  ======  =====
+
+The write bound is tight (one broadcast + one acknowledgement wave), so we
+assert equality.  The read bound is a worst case: a quiescent two-bit read
+finishes in 2 delta, and only a read racing a concurrent write needs the full
+4 delta (the responder must wait until the reader has caught up).  We measure
+both the quiescent and the contended case and assert the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import latencies_in_delta
+from repro.registers.base import OperationKind
+from repro.registers.costmodels import model_by_name
+from repro.sim.delays import FixedDelay
+from repro.workloads import WorkloadSpec, run_workload
+
+from benchmarks.conftest import report
+
+DELTA = 1.0
+ALGORITHMS = ["abd", "two-bit"]
+
+
+def _isolated(algorithm: str, n: int = 5, samples: int = 5):
+    return run_workload(
+        WorkloadSpec(
+            n=n,
+            algorithm=algorithm,
+            num_writes=samples,
+            reads_per_reader=1,
+            delay_model=FixedDelay(DELTA),
+            isolated_operations=True,
+            seed=0,
+        )
+    )
+
+
+def _contended(algorithm: str, n: int = 5):
+    return run_workload(
+        WorkloadSpec(
+            n=n,
+            algorithm=algorithm,
+            num_writes=12,
+            reads_per_reader=12,
+            delay_model=FixedDelay(DELTA),
+            seed=0,
+        )
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_write_latency_delta_units(benchmark, algorithm):
+    """Table 1 line 5 — write time: exactly 2 delta for ABD and the two-bit algorithm."""
+    result = _isolated(algorithm)
+    latencies = latencies_in_delta(result, OperationKind.WRITE, DELTA)
+    expected = model_by_name(algorithm).write_time_delta.value(5)
+    assert all(latency == pytest.approx(expected) for latency in latencies)
+    report(
+        f"Table 1 line 5 — write time ({algorithm})",
+        ["paper", "measured mean", "measured max"],
+        [[f"{expected:.0f} delta", sum(latencies) / len(latencies), max(latencies)]],
+    )
+    benchmark(lambda: _isolated(algorithm, samples=1))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_read_latency_delta_units(benchmark, algorithm):
+    """Table 1 line 6 — read time: bounded by 4 delta; ABD reads take exactly 4 delta."""
+    bound = model_by_name(algorithm).read_time_delta.value(5)
+    contended = _contended(algorithm)
+    contended_latencies = latencies_in_delta(contended, OperationKind.READ, DELTA)
+    quiescent = _isolated(algorithm)
+    quiescent_latencies = latencies_in_delta(quiescent, OperationKind.READ, DELTA)
+    assert max(contended_latencies) <= bound + 1e-9
+    assert max(quiescent_latencies) <= bound + 1e-9
+    if algorithm == "abd":
+        # ABD reads always need their two round trips.
+        assert all(latency == pytest.approx(4.0) for latency in quiescent_latencies)
+    else:
+        # A quiescent two-bit read needs only one round trip; the 4-delta
+        # corner shows up under read/write contention.
+        assert all(latency == pytest.approx(2.0) for latency in quiescent_latencies)
+        assert max(contended_latencies) > 2.0
+    report(
+        f"Table 1 line 6 — read time ({algorithm})",
+        ["paper (bound)", "quiescent", "contended mean", "contended max"],
+        [
+            [
+                f"{bound:.0f} delta",
+                sum(quiescent_latencies) / len(quiescent_latencies),
+                round(sum(contended_latencies) / len(contended_latencies), 2),
+                max(contended_latencies),
+            ]
+        ],
+    )
+    benchmark(lambda: _contended(algorithm, n=3))
+
+
+def test_latency_independent_of_n(benchmark, system_sizes):
+    """Both time bounds are independent of the system size (no extra rounds as n grows)."""
+    rows = []
+    for n in system_sizes:
+        result = _isolated("two-bit", n=n, samples=3)
+        writes = latencies_in_delta(result, OperationKind.WRITE, DELTA)
+        reads = latencies_in_delta(result, OperationKind.READ, DELTA)
+        assert all(latency == pytest.approx(2.0) for latency in writes)
+        assert all(latency <= 4.0 + 1e-9 for latency in reads)
+        rows.append([n, max(writes), max(reads)])
+    report(
+        "two-bit latency vs system size (delta units)",
+        ["n", "write max", "read max"],
+        rows,
+    )
+    benchmark(lambda: _isolated("two-bit", n=system_sizes[-1], samples=1))
+
+
+def test_full_table1_regeneration(benchmark):
+    """Smoke-regenerate the entire table (all six rows) in one call."""
+    from repro.analysis.table1 import build_table1
+
+    def build():
+        return build_table1(n=5, writes=20, delta=DELTA, seed=0, samples=3)
+
+    table = build()
+    print("\n" + table.render())
+    assert table.measured("write_time_delta", "two-bit") == pytest.approx(2.0)
+    assert table.measured("read_time_delta", "two-bit") <= 4.0 + 1e-9
+    benchmark(build)

@@ -1,0 +1,18 @@
+"""Shared fixtures and reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a small comparison table alongside the pytest-benchmark output."""
+    from repro.analysis.report import format_table
+
+    print("\n" + format_table(headers, rows, title=title))
+
+
+@pytest.fixture(scope="session")
+def system_sizes() -> list[int]:
+    """System sizes swept by the Table-1 benchmarks."""
+    return [3, 5, 7, 9]

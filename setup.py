@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can also be installed in environments whose tooling predates PEP 660
+editable installs (e.g. ``pip install -e . --no-use-pep517`` on machines
+without the ``wheel`` package, such as air-gapped CI runners).
+"""
+
+from setuptools import setup
+
+setup()

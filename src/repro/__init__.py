@@ -1,0 +1,43 @@
+"""repro — reproduction of "Two-Bit Messages are Sufficient to Implement
+Atomic Read/Write Registers in Crash-prone Systems" (Mostéfaoui & Raynal, 2016).
+
+The library implements, on top of a deterministic discrete-event simulation
+of a crash-prone asynchronous message-passing system:
+
+* the paper's two-bit-message SWMR atomic register (:mod:`repro.core`);
+* the ABD baseline family it is compared against (:mod:`repro.registers`);
+* atomicity / linearizability verification (:mod:`repro.verification`);
+* workload generation and execution (:mod:`repro.workloads`);
+* the Table-1 measurement harness (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> import repro
+>>> cluster = repro.create_register(n=5, algorithm="two-bit", initial_value="v0")
+>>> cluster.writer.write("hello")
+>>> cluster.reader(3).read()
+'hello'
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.api import (
+    RegisterCluster,
+    available_algorithms,
+    build_table1,
+    create_register,
+    run_workload,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RegisterCluster",
+    "WorkloadSpec",
+    "available_algorithms",
+    "build_table1",
+    "create_register",
+    "run_workload",
+    "__version__",
+]

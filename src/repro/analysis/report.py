@@ -1,0 +1,46 @@
+"""Plain-text table rendering used by the Table-1 harness and the examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Cells are stringified with ``str``; ``None`` renders as ``"-"``.
+    """
+    str_rows = [["-" if cell is None else str(cell) for cell in row] for row in rows]
+    str_headers = [str(header) for header in headers]
+    widths = [len(header) for header in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(str_headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(str_headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_number(value: float, digits: int = 2) -> str:
+    """Format a measured number compactly (integers without a decimal point)."""
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "unbounded"
+    if abs(value - round(value)) < 1e-9:
+        return str(int(round(value)))
+    return f"{value:.{digits}f}"

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Everything the examples do is also reachable from the command line, which is
+convenient for quick experiments and for CI jobs that want the reproduction
+report without writing Python:
+
+.. code-block:: console
+
+    python -m repro.cli algorithms                  # list registered algorithms
+    python -m repro.cli table1 --n 7 --writes 50    # regenerate Table 1
+    python -m repro.cli run --algorithm two-bit --n 5 --writes 10 --reads 10
+    python -m repro.cli compare --n 7 --reads 40 --writes 4
+    python -m repro.cli bits --writes 200           # control-bit growth curves
+
+Every sub-command prints plain text (the same tables the benchmarks print)
+and exits non-zero if a correctness check fails, so the CLI can be used as a
+smoke test in automation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.bits import control_bits_growth
+from repro.analysis.memory import memory_growth
+from repro.analysis.report import format_table
+from repro.analysis.table1 import build_table1
+from repro.registers.base import OperationKind
+from repro.registers.registry import available_algorithms
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.failures import random_crash_schedule
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+def _add_common_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=5, help="number of processes (default 5)")
+    parser.add_argument("--writes", type=int, default=10, help="number of writes (default 10)")
+    parser.add_argument("--reads", type=int, default=10, help="reads per reader (default 10)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--delay",
+        choices=["fixed", "uniform"],
+        default="fixed",
+        help="message delay model (default: fixed delta=1)",
+    )
+    parser.add_argument(
+        "--crashes",
+        type=int,
+        default=0,
+        help="number of random reader crashes to inject (writer is spared)",
+    )
+
+
+def _delay_model(name: str, seed: int):
+    if name == "uniform":
+        return UniformDelay(0.1, 2.0, seed=seed)
+    return FixedDelay(1.0)
+
+
+def _spec_from_args(args: argparse.Namespace, algorithm: str) -> WorkloadSpec:
+    schedule = None
+    if args.crashes:
+        schedule = random_crash_schedule(
+            args.n, seed=args.seed, max_crashes=args.crashes, horizon=20.0, exclude=(0,)
+        )
+    return WorkloadSpec(
+        n=args.n,
+        algorithm=algorithm,
+        num_writes=args.writes,
+        reads_per_reader=args.reads,
+        delay_model=_delay_model(args.delay, args.seed),
+        crash_schedule=schedule,
+        check_invariants=(algorithm == "two-bit"),
+        seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------- subcommands
+
+
+def cmd_algorithms(_args: argparse.Namespace) -> int:
+    """List the registered register algorithms."""
+    from repro.registers.registry import get_algorithm
+
+    rows = []
+    for name in available_algorithms():
+        algorithm = get_algorithm(name)
+        rows.append([name, "yes" if algorithm.supports_multi_writer else "no", algorithm.description])
+    print(format_table(["name", "multi-writer", "description"], rows, title="Registered algorithms"))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate the paper's Table 1."""
+    table = build_table1(n=args.n, writes=args.writes, delta=1.0, seed=args.seed)
+    print(table.render())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one workload and report latency/message statistics + atomicity verdict."""
+    spec = _spec_from_args(args, args.algorithm)
+    result = run_workload(spec)
+    report = result.check_atomicity(raise_on_violation=False)
+    writes = result.write_latencies()
+    reads = result.read_latencies()
+    rows = [
+        ["operations completed", len(result.completed_records())],
+        ["operations pending", len(result.history.pending())],
+        ["total messages", result.total_messages()],
+        ["max control bits / message", result.max_control_bits()],
+        ["mean write latency", round(sum(writes) / len(writes), 3) if writes else "-"],
+        ["mean read latency", round(sum(reads) / len(reads), 3) if reads else "-"],
+        ["atomic", "yes" if report.ok else "NO"],
+    ]
+    if result.monitor is not None:
+        rows.append(["lemma invariants", "ok" if result.monitor.report.ok else "VIOLATED"])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.algorithm} on n={args.n} ({spec.total_operations()} operations)",
+        )
+    )
+    if not report.ok:
+        print("\natomicity violations:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the same workload under every executable algorithm and compare."""
+    rows = []
+    failures = 0
+    for algorithm in ("two-bit", "abd", "abd-bounded-emulation"):
+        spec = _spec_from_args(args, algorithm)
+        result = run_workload(spec)
+        report = result.check_atomicity(raise_on_violation=False)
+        if not report.ok:
+            failures += 1
+        reads = result.read_latencies()
+        rows.append(
+            [
+                algorithm,
+                result.total_messages(),
+                result.max_control_bits(),
+                round(sum(reads) / len(reads), 2) if reads else "-",
+                "yes" if report.ok else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "total msgs", "max control bits", "mean read latency", "atomic"],
+            rows,
+            title=f"Comparison on n={args.n}, {args.writes} writes, {args.reads} reads/reader",
+        )
+    )
+    return 1 if failures else 0
+
+
+def cmd_bits(args: argparse.Namespace) -> int:
+    """Control-bit and local-memory growth curves (the 'unbounded' rows of Table 1)."""
+    counts = (10, max(20, args.writes // 4), args.writes)
+    rows = []
+    for algorithm in ("abd", "two-bit"):
+        growth = control_bits_growth(algorithm, n=args.n, write_counts=counts, seed=args.seed)
+        rows.append([algorithm] + [m.max_control_bits for m in growth])
+    print(
+        format_table(
+            ["algorithm"] + [f"{c} writes" for c in counts],
+            rows,
+            title="Max control bits per message",
+        )
+    )
+    rows = []
+    for algorithm in ("abd", "two-bit"):
+        growth = memory_growth(algorithm, n=args.n, write_counts=counts, seed=args.seed)
+        rows.append([algorithm] + [m.max_words for m in growth])
+    print()
+    print(
+        format_table(
+            ["algorithm"] + [f"{c} writes" for c in counts],
+            rows,
+            title="Max local memory per process (words)",
+        )
+    )
+    return 0
+
+
+def cmd_messages(args: argparse.Namespace) -> int:
+    """Exact per-operation message counts (Theorem 2) for one system size."""
+    rows = []
+    for algorithm in ("two-bit", "abd"):
+        spec = WorkloadSpec(
+            n=args.n,
+            algorithm=algorithm,
+            num_writes=3,
+            reads_per_reader=1,
+            delay_model=FixedDelay(1.0),
+            isolated_operations=True,
+            seed=args.seed,
+        )
+        result = run_workload(spec)
+        write_costs = result.isolated_costs_by_kind(OperationKind.WRITE)
+        read_costs = result.isolated_costs_by_kind(OperationKind.READ)
+        rows.append(
+            [
+                algorithm,
+                round(sum(c.messages for c in write_costs) / len(write_costs), 1),
+                round(sum(c.messages for c in read_costs) / len(read_costs), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "msgs per write", "msgs per read"],
+            rows,
+            title=f"Per-operation message counts, n={args.n}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for the two-bit atomic-register paper (Mostefaoui & Raynal 2016)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("algorithms", help="list registered register algorithms")
+    sub.set_defaults(handler=cmd_algorithms)
+
+    sub = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    sub.add_argument("--n", type=int, default=5)
+    sub.add_argument("--writes", type=int, default=30)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.set_defaults(handler=cmd_table1)
+
+    sub = subparsers.add_parser("run", help="run one workload and check atomicity")
+    sub.add_argument("--algorithm", default="two-bit", choices=available_algorithms())
+    _add_common_workload_arguments(sub)
+    sub.set_defaults(handler=cmd_run)
+
+    sub = subparsers.add_parser("compare", help="run the same workload under every executable algorithm")
+    _add_common_workload_arguments(sub)
+    sub.set_defaults(handler=cmd_compare)
+
+    sub = subparsers.add_parser("bits", help="control-bit and memory growth curves")
+    sub.add_argument("--n", type=int, default=5)
+    sub.add_argument("--writes", type=int, default=200)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.set_defaults(handler=cmd_bits)
+
+    sub = subparsers.add_parser("messages", help="exact per-operation message counts (Theorem 2)")
+    sub.add_argument("--n", type=int, default=5)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.set_defaults(handler=cmd_messages)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Runtime monitors for the lemmas the correctness proof rests on.
+
+The paper's proof (Section 4) establishes a chain of invariants about the
+``w_sync`` arrays and the local histories.  Because this reproduction runs
+the protocol rather than proving it, we *check* those invariants continuously
+during simulation: a :class:`GlobalInvariantMonitor` registered as a
+simulator observer inspects the global state after every event and raises
+:class:`InvariantViolation` the moment any of them fails.
+
+Monitored invariants (names follow the paper):
+
+* **Lemma 2** — ``w_sync_i[i] >= w_sync_j[i]`` for all ``i, j``: nobody
+  believes a process knows more than that process actually knows.
+* **Lemma 3** — ``w_sync_i[i] = max_j w_sync_i[j]``: a process is always at
+  least as up to date as it believes anyone else to be.
+* **Lemma 4** — every process's history is a prefix of the writer's history.
+* **Property P2** — for every pair ``i != j``,
+  ``|w_sync_i[j] - w_sync_j[i]| <= 1``: the per-pair alternating-bit pattern
+  keeps the two ends of a channel within one step of each other.
+* **Monotonicity** (used implicitly throughout the proof) — no ``w_sync`` or
+  ``r_sync`` entry ever decreases, and histories only grow.
+
+Lemma 1 (increments of exactly 1) is enforced inline by
+:class:`repro.core.process.TwoBitRegisterProcess` and
+:class:`repro.core.state.TwoBitState` at the exact assignment points, because
+a single simulator event may legitimately process several buffered messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.process import TwoBitRegisterProcess
+from repro.sim.scheduler import Simulator
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a run violates one of the paper's proved invariants."""
+
+
+@dataclass
+class InvariantReport:
+    """Summary of what a monitor checked over a run."""
+
+    checks_performed: int = 0
+    max_history_length: int = 0
+    max_sync_gap: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was observed."""
+        return not self.violations
+
+
+class GlobalInvariantMonitor:
+    """Checks Lemmas 2-4 and Property P2 across all processes after every event.
+
+    Parameters
+    ----------
+    processes:
+        The two-bit processes to observe (all of them).
+    writer_pid:
+        Id of the writer (needed for the Lemma-4 prefix check).
+    raise_on_violation:
+        If true (default), a violation raises immediately so the failing
+        event is easy to localise; if false, violations are collected in the
+        report (used by a few negative tests).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[TwoBitRegisterProcess],
+        writer_pid: int,
+        raise_on_violation: bool = True,
+    ) -> None:
+        self.processes = list(processes)
+        self.writer_pid = writer_pid
+        self.raise_on_violation = raise_on_violation
+        self.report = InvariantReport()
+        self._previous_w_sync: dict[int, list[int]] = {}
+        self._previous_r_sync: dict[int, list[int]] = {}
+        self._previous_history_len: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ hooks
+
+    def attach(self, simulator: Simulator) -> None:
+        """Register this monitor as a simulator observer."""
+        simulator.add_observer(self.on_event)
+
+    def on_event(self, _simulator: Simulator) -> None:
+        """Observer entry point: run all checks against the current global state."""
+        self.check_now()
+
+    # ----------------------------------------------------------------- checks
+
+    def check_now(self) -> None:
+        """Run every invariant check once against the current global state."""
+        self.report.checks_performed += 1
+        self._check_monotonicity()
+        self._check_lemma_2()
+        self._check_lemma_3()
+        self._check_lemma_4()
+        self._check_property_p2()
+
+    def _fail(self, description: str) -> None:
+        self.report.violations.append(description)
+        if self.raise_on_violation:
+            raise InvariantViolation(description)
+
+    def _live_states(self) -> list[TwoBitRegisterProcess]:
+        # Crashed processes stop taking steps, so their (frozen) state still
+        # satisfies the invariants; we keep checking them — the lemmas are
+        # stated over all processes, not only correct ones.
+        return [p for p in self.processes if p.state is not None]
+
+    def _check_monotonicity(self) -> None:
+        for process in self._live_states():
+            st = process.state
+            assert st is not None
+            prev_w = self._previous_w_sync.get(process.pid)
+            if prev_w is not None:
+                for j, (before, after) in enumerate(zip(prev_w, st.w_sync)):
+                    if after < before:
+                        self._fail(
+                            f"monotonicity: w_sync_{process.pid}[{j}] decreased "
+                            f"from {before} to {after}"
+                        )
+            prev_r = self._previous_r_sync.get(process.pid)
+            if prev_r is not None:
+                for j, (before, after) in enumerate(zip(prev_r, st.r_sync)):
+                    if after < before:
+                        self._fail(
+                            f"monotonicity: r_sync_{process.pid}[{j}] decreased "
+                            f"from {before} to {after}"
+                        )
+            prev_len = self._previous_history_len.get(process.pid)
+            if prev_len is not None and len(st.history) < prev_len:
+                self._fail(
+                    f"monotonicity: history of p{process.pid} shrank from "
+                    f"{prev_len} to {len(st.history)}"
+                )
+            self._previous_w_sync[process.pid] = list(st.w_sync)
+            self._previous_r_sync[process.pid] = list(st.r_sync)
+            self._previous_history_len[process.pid] = len(st.history)
+            self.report.max_history_length = max(self.report.max_history_length, len(st.history))
+
+    def _check_lemma_2(self) -> None:
+        states = {p.pid: p.state for p in self._live_states()}
+        for i, state_i in states.items():
+            assert state_i is not None
+            for j, state_j in states.items():
+                assert state_j is not None
+                if state_i.w_sync[i] < state_j.w_sync[i]:
+                    self._fail(
+                        f"Lemma 2: w_sync_{i}[{i}]={state_i.w_sync[i]} < "
+                        f"w_sync_{j}[{i}]={state_j.w_sync[i]}"
+                    )
+
+    def _check_lemma_3(self) -> None:
+        for process in self._live_states():
+            st = process.state
+            assert st is not None
+            maximum = max(st.w_sync)
+            if st.w_sync[process.pid] != maximum:
+                self._fail(
+                    f"Lemma 3: w_sync_{process.pid}[{process.pid}]={st.w_sync[process.pid]} "
+                    f"!= max(w_sync_{process.pid})={maximum}"
+                )
+
+    def _check_lemma_4(self) -> None:
+        writer = next((p for p in self._live_states() if p.pid == self.writer_pid), None)
+        if writer is None or writer.state is None:
+            return
+        writer_history = writer.state.history
+        for process in self._live_states():
+            st = process.state
+            assert st is not None
+            if len(st.history) > len(writer_history):
+                self._fail(
+                    f"Lemma 4: p{process.pid} has a longer history "
+                    f"({len(st.history)}) than the writer ({len(writer_history)})"
+                )
+                continue
+            for index, value in enumerate(st.history):
+                if value != writer_history[index]:
+                    self._fail(
+                        f"Lemma 4: history_{process.pid}[{index}]={value!r} differs from "
+                        f"the writer's history_{self.writer_pid}[{index}]={writer_history[index]!r}"
+                    )
+                    break
+
+    def _check_property_p2(self) -> None:
+        states = {p.pid: p.state for p in self._live_states()}
+        for i, state_i in states.items():
+            assert state_i is not None
+            for j, state_j in states.items():
+                if j <= i:
+                    continue
+                assert state_j is not None
+                gap = abs(state_i.w_sync[j] - state_j.w_sync[i])
+                self.report.max_sync_gap = max(self.report.max_sync_gap, gap)
+                if gap > 1:
+                    self._fail(
+                        f"Property P2: |w_sync_{i}[{j}] - w_sync_{j}[{i}]| = {gap} > 1 "
+                        f"({state_i.w_sync[j]} vs {state_j.w_sync[i]})"
+                    )
+
+
+def attach_monitor(
+    simulator: Simulator,
+    processes: Iterable[TwoBitRegisterProcess],
+    writer_pid: int = 0,
+    raise_on_violation: bool = True,
+) -> GlobalInvariantMonitor:
+    """Convenience: build a :class:`GlobalInvariantMonitor` and attach it."""
+    monitor = GlobalInvariantMonitor(
+        list(processes), writer_pid=writer_pid, raise_on_violation=raise_on_violation
+    )
+    monitor.attach(simulator)
+    return monitor

@@ -1,0 +1,152 @@
+"""Convenience constructors for the two-bit register.
+
+Most users want "give me an ``n``-process simulated cluster running the
+paper's algorithm and handles to talk to it"; that is
+:func:`build_two_bit_cluster`.  The module also exposes
+:data:`TWO_BIT_ALGORITHM`, the :class:`~repro.registers.base.RegisterAlgorithm`
+factory under which the algorithm is registered in
+:mod:`repro.registers.registry` (name ``"two-bit"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.invariants import GlobalInvariantMonitor, attach_monitor
+from repro.core.process import TwoBitRegisterProcess
+from repro.registers.base import RegisterAlgorithm, RegisterHandle
+from repro.sim.delays import DelayModel
+from repro.sim.failures import CrashSchedule, FailureInjector
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import Tracer
+
+#: Factory registered under the name ``"two-bit"``.
+TWO_BIT_ALGORITHM = RegisterAlgorithm(
+    name="two-bit",
+    description="Mostefaoui-Raynal 2016: four message types, two control bits per message",
+    process_factory=TwoBitRegisterProcess,
+    supports_multi_writer=False,
+)
+
+
+@dataclass
+class TwoBitCluster:
+    """A ready-to-use simulated deployment of the two-bit algorithm.
+
+    Attributes
+    ----------
+    simulator, network:
+        The substrate objects (exposed for metrics and fine-grained control).
+    processes:
+        The ``n`` protocol processes, indexed by pid.
+    handles:
+        One :class:`~repro.registers.base.RegisterHandle` per process.
+    writer:
+        The handle of the (single) writer process.
+    monitor:
+        The invariant monitor if one was attached, else ``None``.
+    """
+
+    simulator: Simulator
+    network: Network
+    processes: Sequence[TwoBitRegisterProcess]
+    handles: Sequence[RegisterHandle]
+    writer_pid: int
+    monitor: Optional[GlobalInvariantMonitor] = None
+
+    @property
+    def writer(self) -> RegisterHandle:
+        """Handle of the writer process."""
+        return self.handles[self.writer_pid]
+
+    def reader(self, pid: int) -> RegisterHandle:
+        """Handle of process ``pid`` (any process can read)."""
+        return self.handles[pid]
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self.processes)
+
+    def settle(self) -> None:
+        """Run the simulation until quiescence (all dissemination drained)."""
+        self.simulator.drain()
+
+    def messages_sent(self) -> int:
+        """Total messages sent so far."""
+        return self.network.stats.messages_sent
+
+
+def build_two_bit_cluster(
+    n: int,
+    writer_pid: int = 0,
+    initial_value: Any = None,
+    delay_model: Optional[DelayModel] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
+    check_invariants: bool = False,
+    trace: bool = False,
+    writer_fast_read: bool = False,
+    t: Optional[int] = None,
+) -> TwoBitCluster:
+    """Build an ``n``-process simulated cluster running the two-bit algorithm.
+
+    Parameters
+    ----------
+    n:
+        Number of processes (``n >= 2``).
+    writer_pid:
+        Which process is the single writer.
+    initial_value:
+        The register's initial value ``v0``.
+    delay_model:
+        Message-delay model; defaults to ``FixedDelay(1.0)`` (the paper's
+        ``delta``-bounded failure-free regime).
+    crash_schedule:
+        Optional crash injection (validated against ``t < n/2``).
+    check_invariants:
+        Attach a :class:`GlobalInvariantMonitor` asserting Lemmas 2-4 and P2
+        after every event (slower; great for tests).
+    trace:
+        Record a structured event trace.
+    writer_fast_read:
+        Let the writer's reads return its own last value directly (the
+        shortcut the paper mentions).
+    t:
+        Override the tolerated number of crashes (defaults to ``(n-1)//2``).
+    """
+    simulator = Simulator(tracer=Tracer(enabled=trace))
+    network = Network(simulator, delay_model=delay_model)
+
+    def factory(pid: int, **kwargs: Any) -> TwoBitRegisterProcess:
+        return TwoBitRegisterProcess(pid=pid, writer_fast_read=writer_fast_read, **kwargs)
+
+    algorithm = RegisterAlgorithm(
+        name=TWO_BIT_ALGORITHM.name,
+        description=TWO_BIT_ALGORITHM.description,
+        process_factory=factory,
+    )
+    processes = algorithm.build(
+        simulator,
+        network,
+        n,
+        writer_pid=writer_pid,
+        t=t,
+        initial_value=initial_value,
+    )
+    monitor = None
+    if check_invariants:
+        monitor = attach_monitor(simulator, processes, writer_pid=writer_pid)
+    if crash_schedule is not None:
+        crash_schedule.validate(n)
+        FailureInjector(simulator, network, crash_schedule).install()
+    handles = [RegisterHandle(process, simulator) for process in processes]
+    return TwoBitCluster(
+        simulator=simulator,
+        network=network,
+        processes=processes,
+        handles=handles,
+        writer_pid=writer_pid,
+        monitor=monitor,
+    )

@@ -1,0 +1,41 @@
+"""Register algorithms: shared framework, baselines, and analytic cost models.
+
+This package hosts everything that is *not* the paper's own algorithm (which
+lives in :mod:`repro.core`) but that the reproduction needs in order to
+regenerate Table 1:
+
+* :mod:`repro.registers.base` — the protocol-independent framework every
+  register implementation plugs into (operation bookkeeping, quorum helpers,
+  the client-facing handle used by workloads and examples);
+* :mod:`repro.registers.abd` — the classic Attiya–Bar-Noy–Dolev SWMR register
+  with unbounded sequence numbers (Table 1 column 1);
+* :mod:`repro.registers.abd_mwmr` — the multi-writer extension (used by
+  ablation benchmarks; the paper cites this family as "ABD and successors");
+* :mod:`repro.registers.bounded` — an executable modulo-M sequence-number
+  variant standing in for the bounded-message-size baselines;
+* :mod:`repro.registers.costmodels` — the analytic formulas behind the
+  bounded-ABD and Attiya-2000 columns of Table 1;
+* :mod:`repro.registers.registry` — name → factory lookup used by the CLI,
+  examples, and benchmarks.
+"""
+
+from repro.registers.base import (
+    OperationKind,
+    OperationRecord,
+    QuorumTracker,
+    RegisterAlgorithm,
+    RegisterHandle,
+    RegisterProcess,
+)
+from repro.registers.registry import available_algorithms, get_algorithm
+
+__all__ = [
+    "OperationKind",
+    "OperationRecord",
+    "QuorumTracker",
+    "RegisterAlgorithm",
+    "RegisterHandle",
+    "RegisterProcess",
+    "available_algorithms",
+    "get_algorithm",
+]

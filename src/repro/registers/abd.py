@@ -1,0 +1,293 @@
+"""The ABD baseline: Attiya–Bar-Noy–Dolev SWMR atomic register (unbounded seqnums).
+
+This is the first column of Table 1 ("ABD95 unbounded seq. nb"): the classic
+quorum-based construction from
+
+    H. Attiya, A. Bar-Noy, D. Dolev, *Sharing memory robustly in message
+    passing systems*, JACM 42(1), 1995.
+
+Write (writer ``p_w``):
+    1. increment the sequence number ``seq``;
+    2. send ``WRITE(seq, v)`` to all other processes;
+    3. wait for acknowledgements until a majority (``n - t`` processes,
+       including itself) stores ``(seq, v)``;
+    ⇒ 2 communication steps (2Δ), ``2(n-1)`` messages — O(n).
+
+Read (any process):
+    1. *query phase*: ask all processes for their current ``(seq, value)``
+       pair, wait for ``n - t`` answers, keep the pair with the largest
+       sequence number;
+    2. *write-back phase*: send the chosen pair to all processes and wait for
+       ``n - t`` acknowledgements (this is what rules out new/old read
+       inversions);
+    ⇒ 4 communication steps (4Δ), ``4(n-1)`` messages — O(n).
+
+The price relative to the paper's algorithm is the **unbounded control
+information**: every ``WRITE``, reply and write-back carries a sequence
+number that grows with the number of writes, so message size is unbounded
+(Table 1, line 3).  The message classes below report their control bits
+accordingly so the Table-1 harness can *measure* the growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.registers.base import OperationRecord, RegisterAlgorithm, RegisterProcess
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+#: Number of distinct message types used by this ABD implementation.
+ABD_MESSAGE_TYPES = 6
+#: Bits needed to encode the message type alone.
+ABD_TYPE_BITS = 3
+
+
+def _int_bits(value: int) -> int:
+    """Bits needed to represent a non-negative integer (at least 1)."""
+    return max(1, int(value).bit_length())
+
+
+def _value_bits(value: Any) -> int:
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return _int_bits(abs(value))
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, (str, bytes)):
+        return 8 * len(value)
+    return 8 * len(repr(value))
+
+
+@dataclass(frozen=True)
+class AbdMessage:
+    """Base class for ABD messages: control bits = type tag + any sequence numbers."""
+
+    def control_bits(self) -> int:
+        raise NotImplementedError
+
+    def data_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class AbdWrite(AbdMessage):
+    """Writer → replicas: store ``value`` under sequence number ``seq``."""
+
+    seq: int
+    value: Any
+
+    type_name = "ABD_WRITE"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.seq)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class AbdWriteAck(AbdMessage):
+    """Replica → writer: acknowledged the write with sequence number ``seq``."""
+
+    seq: int
+
+    type_name = "ABD_WRITE_ACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.seq)
+
+
+@dataclass(frozen=True)
+class AbdReadQuery(AbdMessage):
+    """Reader → replicas: send me your current (seq, value) pair (request #``rsn``)."""
+
+    rsn: int
+
+    type_name = "ABD_READ_QUERY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn)
+
+
+@dataclass(frozen=True)
+class AbdReadReply(AbdMessage):
+    """Replica → reader: my current pair is ``(seq, value)`` (answer to request #``rsn``)."""
+
+    rsn: int
+    seq: int
+    value: Any
+
+    type_name = "ABD_READ_REPLY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.seq)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class AbdWriteBack(AbdMessage):
+    """Reader → replicas: adopt ``(seq, value)`` before I return it (request #``rsn``)."""
+
+    rsn: int
+    seq: int
+    value: Any
+
+    type_name = "ABD_WRITE_BACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.seq)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class AbdWriteBackAck(AbdMessage):
+    """Replica → reader: acknowledged the write-back of request #``rsn``."""
+
+    rsn: int
+
+    type_name = "ABD_WRITE_BACK_ACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn)
+
+
+class AbdRegisterProcess(RegisterProcess):
+    """One process of the ABD SWMR register (replica + optional writer/reader roles)."""
+
+    def __init__(
+        self,
+        pid: int,
+        simulator: Simulator,
+        network: Network,
+        writer_pid: int,
+        t: Optional[int] = None,
+        initial_value: Any = None,
+    ) -> None:
+        super().__init__(pid, simulator, network, writer_pid, t, initial_value)
+        # Replica state: the highest (seq, value) pair seen so far.
+        self.seq = 0
+        self.value = initial_value
+        # Writer state.
+        self.write_seq = 0
+        # Reader state.
+        self.read_rsn = 0
+        # Pending-operation bookkeeping (at most one own operation at a time).
+        self._write_acks: set[int] = set()
+        self._pending_write_seq: Optional[int] = None
+        self._read_replies: Dict[int, tuple[int, Any]] = {}
+        self._writeback_acks: set[int] = set()
+        self._pending_read_rsn: Optional[int] = None
+
+    # ------------------------------------------------------------ replica core
+
+    def _adopt(self, seq: int, value: Any) -> None:
+        """Adopt ``(seq, value)`` if it is newer than the local pair."""
+        if seq > self.seq:
+            self.seq = seq
+            self.value = value
+
+    # ---------------------------------------------------------------- write
+
+    def _start_write(self, record: OperationRecord, done: Callable[[], None]) -> None:
+        self.write_seq += 1
+        seq = self.write_seq
+        self._adopt(seq, record.value)
+        self._pending_write_seq = seq
+        self._write_acks = {self.pid}
+        message = AbdWrite(seq=seq, value=record.value)
+        for j in self.other_process_ids():
+            self.send(j, message)
+
+        def ack_quorum() -> bool:
+            return self.quorum.satisfied(len(self._write_acks))
+
+        def finish() -> None:
+            self._pending_write_seq = None
+            done()
+
+        self.add_guard(ack_quorum, finish, label=f"ABD write#{seq} ack quorum")
+
+    # ----------------------------------------------------------------- read
+
+    def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
+        self.read_rsn += 1
+        rsn = self.read_rsn
+        self._pending_read_rsn = rsn
+        self._read_replies = {self.pid: (self.seq, self.value)}
+        self._writeback_acks = set()
+        query = AbdReadQuery(rsn=rsn)
+        for j in self.other_process_ids():
+            self.send(j, query)
+
+        def reply_quorum() -> bool:
+            return self.quorum.satisfied(len(self._read_replies))
+
+        def start_write_back() -> None:
+            best_seq, best_value = max(self._read_replies.values(), key=lambda pair: pair[0])
+            self._adopt(best_seq, best_value)
+            self._writeback_acks = {self.pid}
+            write_back = AbdWriteBack(rsn=rsn, seq=best_seq, value=best_value)
+            for j in self.other_process_ids():
+                self.send(j, write_back)
+
+            def writeback_quorum() -> bool:
+                return self.quorum.satisfied(len(self._writeback_acks))
+
+            def finish() -> None:
+                self._pending_read_rsn = None
+                done(best_value)
+
+            self.add_guard(writeback_quorum, finish, label=f"ABD read#{rsn} write-back quorum")
+
+        self.add_guard(reply_quorum, start_write_back, label=f"ABD read#{rsn} query quorum")
+
+    # -------------------------------------------------------------- handlers
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, AbdWrite):
+            self._adopt(message.seq, message.value)
+            self.send(src, AbdWriteAck(seq=message.seq))
+        elif isinstance(message, AbdWriteAck):
+            if message.seq == self._pending_write_seq:
+                self._write_acks.add(src)
+        elif isinstance(message, AbdReadQuery):
+            self.send(src, AbdReadReply(rsn=message.rsn, seq=self.seq, value=self.value))
+        elif isinstance(message, AbdReadReply):
+            if message.rsn == self._pending_read_rsn and src not in self._read_replies:
+                self._read_replies[src] = (message.seq, message.value)
+        elif isinstance(message, AbdWriteBack):
+            self._adopt(message.seq, message.value)
+            self.send(src, AbdWriteBackAck(rsn=message.rsn))
+        elif isinstance(message, AbdWriteBackAck):
+            if message.rsn == self._pending_read_rsn:
+                self._writeback_acks.add(src)
+        else:
+            raise TypeError(f"p{self.pid} received unknown ABD message {message!r} from p{src}")
+
+    # ------------------------------------------------------------- inspection
+
+    def local_memory_words(self) -> int:
+        """ABD keeps a constant number of words plus an unbounded sequence number.
+
+        We count words: the (seq, value) pair, the writer/reader counters and
+        the transient quorum sets (bounded by ``n``).
+        """
+        return 4 + len(self._write_acks) + len(self._read_replies) + len(self._writeback_acks)
+
+
+#: Factory registered under the name ``"abd"``.
+ABD_ALGORITHM = RegisterAlgorithm(
+    name="abd",
+    description="ABD 1995, unbounded sequence numbers carried by messages",
+    process_factory=AbdRegisterProcess,
+    supports_multi_writer=False,
+)

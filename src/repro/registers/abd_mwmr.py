@@ -1,0 +1,298 @@
+"""Multi-writer multi-reader extension of ABD (ablation baseline).
+
+The paper's related-work discussion points at "ABD and its successors"; the
+canonical successor is the MWMR variant in which *every* process may write.
+A write first queries a majority for the highest timestamp, then imposes a
+strictly larger timestamp ``(num + 1, pid)`` (lexicographic order breaks ties
+by writer id).  Reads are identical to the SWMR ABD reads (query + write-back).
+
+We include it for two reasons:
+
+* the ablation benchmarks use it to show what the extra write round-trip
+  costs (4Δ writes instead of 2Δ) — context for why the paper restricts
+  itself to the SWMR case;
+* it exercises the verification layer on MWMR histories (the checker must
+  order concurrent writes by timestamp rather than by the single writer's
+  program order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.registers.abd import ABD_TYPE_BITS, _int_bits, _value_bits
+from repro.registers.base import OperationRecord, RegisterAlgorithm, RegisterProcess
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+#: A logical timestamp: (counter, writer pid); ordered lexicographically.
+Timestamp = Tuple[int, int]
+
+ZERO_TS: Timestamp = (0, -1)
+
+
+@dataclass(frozen=True)
+class MwAbdTsQuery:
+    """Writer → replicas: what is your highest timestamp? (write #``wsn`` of this writer)."""
+
+    wsn: int
+
+    type_name = "MWABD_TS_QUERY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.wsn)
+
+    def data_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class MwAbdTsReply:
+    """Replica → writer: my highest timestamp is ``ts``."""
+
+    wsn: int
+    ts: Timestamp
+
+    type_name = "MWABD_TS_REPLY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.wsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+
+    def data_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class MwAbdWrite:
+    """Writer → replicas: store ``value`` under timestamp ``ts``."""
+
+    wsn: int
+    ts: Timestamp
+    value: Any
+
+    type_name = "MWABD_WRITE"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.wsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class MwAbdWriteAck:
+    """Replica → writer: acknowledged write #``wsn``."""
+
+    wsn: int
+
+    type_name = "MWABD_WRITE_ACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.wsn)
+
+    def data_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class MwAbdReadQuery:
+    """Reader → replicas: send me your (ts, value) pair (read #``rsn``)."""
+
+    rsn: int
+
+    type_name = "MWABD_READ_QUERY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn)
+
+    def data_bits(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class MwAbdReadReply:
+    """Replica → reader: my pair is ``(ts, value)``."""
+
+    rsn: int
+    ts: Timestamp
+    value: Any
+
+    type_name = "MWABD_READ_REPLY"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class MwAbdWriteBack:
+    """Reader → replicas: adopt ``(ts, value)`` before I return it."""
+
+    rsn: int
+    ts: Timestamp
+    value: Any
+
+    type_name = "MWABD_WRITE_BACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+
+    def data_bits(self) -> int:
+        return _value_bits(self.value)
+
+
+@dataclass(frozen=True)
+class MwAbdWriteBackAck:
+    """Replica → reader: acknowledged write-back of read #``rsn``."""
+
+    rsn: int
+
+    type_name = "MWABD_WRITE_BACK_ACK"
+
+    def control_bits(self) -> int:
+        return ABD_TYPE_BITS + _int_bits(self.rsn)
+
+    def data_bits(self) -> int:
+        return 0
+
+
+class MwmrAbdRegisterProcess(RegisterProcess):
+    """One process of the MWMR ABD register; any process may write."""
+
+    def __init__(
+        self,
+        pid: int,
+        simulator: Simulator,
+        network: Network,
+        writer_pid: int,
+        t: Optional[int] = None,
+        initial_value: Any = None,
+    ) -> None:
+        super().__init__(pid, simulator, network, writer_pid, t, initial_value)
+        self.ts: Timestamp = ZERO_TS
+        self.value = initial_value
+        self.wsn = 0
+        self.rsn = 0
+        self._pending_wsn: Optional[int] = None
+        self._ts_replies: Dict[int, Timestamp] = {}
+        self._write_acks: set[int] = set()
+        self._pending_rsn: Optional[int] = None
+        self._read_replies: Dict[int, tuple[Timestamp, Any]] = {}
+        self._writeback_acks: set[int] = set()
+
+    def _check_write_permission(self) -> None:
+        # MWMR: every process is allowed to write.
+        return
+
+    def _adopt(self, ts: Timestamp, value: Any) -> None:
+        if ts > self.ts:
+            self.ts = ts
+            self.value = value
+
+    # ---------------------------------------------------------------- write
+
+    def _start_write(self, record: OperationRecord, done: Callable[[], None]) -> None:
+        self.wsn += 1
+        wsn = self.wsn
+        self._pending_wsn = wsn
+        self._ts_replies = {self.pid: self.ts}
+        for j in self.other_process_ids():
+            self.send(j, MwAbdTsQuery(wsn=wsn))
+
+        def ts_quorum() -> bool:
+            return self.quorum.satisfied(len(self._ts_replies))
+
+        def impose_write() -> None:
+            highest = max(self._ts_replies.values())
+            new_ts: Timestamp = (highest[0] + 1, self.pid)
+            self._adopt(new_ts, record.value)
+            self._write_acks = {self.pid}
+            message = MwAbdWrite(wsn=wsn, ts=new_ts, value=record.value)
+            for j in self.other_process_ids():
+                self.send(j, message)
+
+            def ack_quorum() -> bool:
+                return self.quorum.satisfied(len(self._write_acks))
+
+            def finish() -> None:
+                self._pending_wsn = None
+                done()
+
+            self.add_guard(ack_quorum, finish, label=f"MWABD write#{wsn} ack quorum")
+
+        self.add_guard(ts_quorum, impose_write, label=f"MWABD write#{wsn} ts quorum")
+
+    # ----------------------------------------------------------------- read
+
+    def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
+        self.rsn += 1
+        rsn = self.rsn
+        self._pending_rsn = rsn
+        self._read_replies = {self.pid: (self.ts, self.value)}
+        for j in self.other_process_ids():
+            self.send(j, MwAbdReadQuery(rsn=rsn))
+
+        def reply_quorum() -> bool:
+            return self.quorum.satisfied(len(self._read_replies))
+
+        def start_write_back() -> None:
+            best_ts, best_value = max(self._read_replies.values(), key=lambda pair: pair[0])
+            self._adopt(best_ts, best_value)
+            self._writeback_acks = {self.pid}
+            message = MwAbdWriteBack(rsn=rsn, ts=best_ts, value=best_value)
+            for j in self.other_process_ids():
+                self.send(j, message)
+
+            def writeback_quorum() -> bool:
+                return self.quorum.satisfied(len(self._writeback_acks))
+
+            def finish() -> None:
+                self._pending_rsn = None
+                done(best_value)
+
+            self.add_guard(writeback_quorum, finish, label=f"MWABD read#{rsn} write-back quorum")
+
+        self.add_guard(reply_quorum, start_write_back, label=f"MWABD read#{rsn} query quorum")
+
+    # -------------------------------------------------------------- handlers
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, MwAbdTsQuery):
+            self.send(src, MwAbdTsReply(wsn=message.wsn, ts=self.ts))
+        elif isinstance(message, MwAbdTsReply):
+            if message.wsn == self._pending_wsn and src not in self._ts_replies:
+                self._ts_replies[src] = message.ts
+        elif isinstance(message, MwAbdWrite):
+            self._adopt(message.ts, message.value)
+            self.send(src, MwAbdWriteAck(wsn=message.wsn))
+        elif isinstance(message, MwAbdWriteAck):
+            if message.wsn == self._pending_wsn:
+                self._write_acks.add(src)
+        elif isinstance(message, MwAbdReadQuery):
+            self.send(src, MwAbdReadReply(rsn=message.rsn, ts=self.ts, value=self.value))
+        elif isinstance(message, MwAbdReadReply):
+            if message.rsn == self._pending_rsn and src not in self._read_replies:
+                self._read_replies[src] = (message.ts, message.value)
+        elif isinstance(message, MwAbdWriteBack):
+            self._adopt(message.ts, message.value)
+            self.send(src, MwAbdWriteBackAck(rsn=message.rsn))
+        elif isinstance(message, MwAbdWriteBackAck):
+            if message.rsn == self._pending_rsn:
+                self._writeback_acks.add(src)
+        else:
+            raise TypeError(f"p{self.pid} received unknown MWMR-ABD message {message!r} from p{src}")
+
+    def local_memory_words(self) -> int:
+        return 6 + len(self._ts_replies) + len(self._read_replies)
+
+
+#: Factory registered under the name ``"abd-mwmr"``.
+ABD_MWMR_ALGORITHM = RegisterAlgorithm(
+    name="abd-mwmr",
+    description="Multi-writer ABD: timestamp query phase before each write",
+    process_factory=MwmrAbdRegisterProcess,
+    supports_multi_writer=True,
+)

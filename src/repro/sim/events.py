@@ -1,0 +1,132 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a virtual time.  Events are kept
+in an :class:`EventQueue`, a binary heap ordered by ``(time, seq)`` where
+``seq`` is a monotonically increasing insertion counter.  The counter makes
+ordering *total* and *deterministic*: two events scheduled for the same
+virtual time always fire in the order they were scheduled, regardless of the
+callback objects involved (callbacks are not comparable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    seq:
+        Insertion sequence number; ties on ``time`` are broken by ``seq`` so
+        the execution order is deterministic.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Human-readable tag used by tracing and error messages.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it is popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}, label={self.label!r}{state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    The queue assigns sequence numbers itself so that callers cannot
+    accidentally produce non-deterministic orderings.  Cancelled events are
+    lazily discarded on :meth:`pop`.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at virtual ``time`` and return the event handle."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the virtual time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Discard all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate over live pending events in an unspecified order (for inspection)."""
+        return (event for event in self._heap if not event.cancelled)
+
+    def pending_labels(self) -> list[str]:
+        """Return labels of live events, sorted by (time, seq) — useful in error messages."""
+        live = sorted(self.iter_pending(), key=lambda e: (e.time, e.seq))
+        return [e.label for e in live]
+
+
+def never(_: Any = None) -> bool:
+    """A predicate that is never satisfied (useful default for guards in tests)."""
+    return False
+
+
+def always(_: Any = None) -> bool:
+    """A predicate that is always satisfied (useful default for guards in tests)."""
+    return True

@@ -1,0 +1,288 @@
+"""Reliable, asynchronous, non-FIFO, crash-aware channels.
+
+The paper's communication model (Section 2.1):
+
+* every ordered pair of processes is connected by a uni-directional channel;
+* channels are **reliable** — no loss, corruption, duplication or creation;
+* channels are **asynchronous** — transfer delays are finite but unbounded
+  (here: drawn from a pluggable :class:`~repro.sim.delays.DelayModel`);
+* channels are **not necessarily FIFO** — reordering is allowed and, with a
+  random delay model, actively happens.
+
+Crash semantics: a message sent *to* a crashed process is silently dropped at
+delivery time (the crashed process takes no more steps); a message already in
+flight *from* a process that subsequently crashes is still delivered (crashing
+does not retract messages).  A crashed process cannot initiate new sends.
+
+The network also maintains :class:`NetworkStats`: per-type message counts,
+control-bit and data-bit accounting, and per-operation attribution used by the
+Table-1 benchmarks.  Messages may implement two optional methods consumed by
+the accounting layer:
+
+``control_bits() -> int``
+    Number of control bits the message carries on the wire (for the paper's
+    algorithm this is exactly 2 — the message type).
+``data_bits() -> int``
+    Number of data-value bits (payload), excluded from the control count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
+
+from repro.sim.delays import DelayModel, FixedDelay
+from repro.sim.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Bookkeeping record for a single message transfer."""
+
+    send_time: float
+    delivery_time: float
+    src: int
+    dst: int
+    message: Any
+    control_bits: int
+    data_bits: int
+    delivered: bool
+
+
+def _message_type_name(message: Any) -> str:
+    """Stable short name used to aggregate per-type statistics."""
+    type_tag = getattr(message, "type_name", None)
+    if callable(type_tag):
+        return str(type_tag())
+    if isinstance(type_tag, str):
+        return type_tag
+    return type(message).__name__
+
+
+def _control_bits(message: Any) -> int:
+    getter = getattr(message, "control_bits", None)
+    if callable(getter):
+        return int(getter())
+    return 0
+
+
+def _data_bits(message: Any) -> int:
+    getter = getattr(message, "data_bits", None)
+    if callable(getter):
+        return int(getter())
+    return 0
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated message statistics for a simulation run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_to_crashed: int = 0
+    control_bits_total: int = 0
+    data_bits_total: int = 0
+    max_control_bits: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+    per_sender: Dict[int, int] = field(default_factory=dict)
+    # Operation attribution: the workload runner opens an accounting window
+    # (`mark()`) before an operation and reads the delta after it completes.
+    _marks: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, src: int, message: Any) -> tuple[int, int]:
+        control = _control_bits(message)
+        data = _data_bits(message)
+        self.messages_sent += 1
+        self.control_bits_total += control
+        self.data_bits_total += data
+        self.max_control_bits = max(self.max_control_bits, control)
+        name = _message_type_name(message)
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+        self.per_sender[src] = self.per_sender.get(src, 0) + 1
+        return control, data
+
+    def record_delivery(self) -> None:
+        self.messages_delivered += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped_to_crashed += 1
+
+    def mark(self, label: str = "default") -> None:
+        """Open (or reset) a named accounting window."""
+        self._marks[label] = self.messages_sent
+
+    def since_mark(self, label: str = "default") -> int:
+        """Messages sent since the window ``label`` was opened."""
+        return self.messages_sent - self._marks.get(label, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict snapshot for reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped_to_crashed": self.messages_dropped_to_crashed,
+            "control_bits_total": self.control_bits_total,
+            "data_bits_total": self.data_bits_total,
+            "max_control_bits": self.max_control_bits,
+            "by_type": dict(self.by_type),
+        }
+
+
+class Channel:
+    """A uni-directional channel between two processes.
+
+    The channel itself only tracks in-flight counts; delivery scheduling is
+    done by the owning :class:`Network` so all events share one clock.
+    """
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.in_flight = 0
+        self.delivered = 0
+
+    def __repr__(self) -> str:
+        return f"Channel({self.src}->{self.dst}, in_flight={self.in_flight})"
+
+
+class Network:
+    """Complete network of reliable, asynchronous, non-FIFO channels.
+
+    Parameters
+    ----------
+    simulator:
+        The shared event loop.
+    delay_model:
+        Source of message transfer delays (default: ``FixedDelay(1.0)``).
+    record_messages:
+        When true, every transfer is kept as a :class:`MessageRecord` (used
+        by fine-grained tests; benchmarks leave it off to save memory).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        delay_model: Optional[DelayModel] = None,
+        record_messages: bool = False,
+    ) -> None:
+        self.simulator = simulator
+        self.delay_model = delay_model or FixedDelay(1.0)
+        self.stats = NetworkStats()
+        self.record_messages = record_messages
+        self.records: list[MessageRecord] = []
+        self._processes: Dict[int, "Process"] = {}
+        self._channels: Dict[tuple[int, int], Channel] = {}
+        # Optional delivery filter: callable(src, dst, message) -> bool.  Used
+        # by tests to model adversarial (but still eventually-reliable)
+        # schedules; returning False delays the message by re-sampling later.
+        self._delivery_hooks: list[Callable[[int, int, Any], None]] = []
+
+    # ------------------------------------------------------------ membership
+
+    def register(self, process: "Process") -> None:
+        """Attach a process to the network (called by ``Process.__init__``)."""
+        if process.pid in self._processes:
+            raise ValueError(f"duplicate process id {process.pid}")
+        self._processes[process.pid] = process
+
+    @property
+    def process_ids(self) -> list[int]:
+        """Sorted list of registered process ids."""
+        return sorted(self._processes)
+
+    def process(self, pid: int) -> "Process":
+        """Return the process registered under ``pid``."""
+        return self._processes[pid]
+
+    def processes(self) -> list["Process"]:
+        """All registered processes, ordered by pid."""
+        return [self._processes[pid] for pid in self.process_ids]
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """Return (creating on demand) the uni-directional channel ``src -> dst``."""
+        key = (src, dst)
+        if key not in self._channels:
+            self._channels[key] = Channel(src, dst)
+        return self._channels[key]
+
+    def add_delivery_hook(self, hook: Callable[[int, int, Any], None]) -> None:
+        """Register a callback invoked at every delivery (for monitors/tests)."""
+        self._delivery_hooks.append(hook)
+
+    # --------------------------------------------------------------- sending
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        The message is delivered after a delay sampled from the delay model,
+        unless the destination has crashed by delivery time (in which case it
+        is dropped — the destination takes no further steps, so it can never
+        process it anyway).
+        """
+        if src == dst:
+            raise ValueError(
+                f"process p{src} attempted to send a message to itself; "
+                "the paper's algorithm never does this (Lemma 1 observation)"
+            )
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination process p{dst}")
+        sender = self._processes.get(src)
+        if sender is not None and sender.crashed:
+            # A crashed process takes no steps, hence cannot send.
+            return
+        control, data = self.stats.record_send(src, message)
+        channel = self.channel(src, dst)
+        channel.in_flight += 1
+        delay = self.delay_model.sample(src, dst)
+        if delay < 0:
+            raise ValueError(f"delay model produced negative delay {delay}")
+        send_time = self.simulator.now
+        self.simulator.tracer.record(send_time, "send", src, dst, message)
+
+        def deliver() -> None:
+            channel.in_flight -= 1
+            destination = self._processes[dst]
+            delivered = not destination.crashed
+            if self.record_messages:
+                self.records.append(
+                    MessageRecord(
+                        send_time=send_time,
+                        delivery_time=self.simulator.now,
+                        src=src,
+                        dst=dst,
+                        message=message,
+                        control_bits=control,
+                        data_bits=data,
+                        delivered=delivered,
+                    )
+                )
+            if not delivered:
+                self.stats.record_drop()
+                return
+            self.stats.record_delivery()
+            channel.delivered += 1
+            self.simulator.tracer.record(self.simulator.now, "deliver", src, dst, message)
+            for hook in self._delivery_hooks:
+                hook(src, dst, message)
+            destination.deliver(src, message)
+
+        self.simulator.schedule_after(delay, deliver, label=f"deliver {message!r} p{src}->p{dst}")
+
+    def broadcast(self, src: int, message_factory: Callable[[int], Any]) -> None:
+        """Send ``message_factory(dst)`` to every process except ``src``."""
+        for dst in self.process_ids:
+            if dst != src:
+                self.send(src, dst, message_factory(dst))
+
+    # ------------------------------------------------------------ inspection
+
+    def in_flight_total(self) -> int:
+        """Total number of messages currently in flight."""
+        return sum(channel.in_flight for channel in self._channels.values())
+
+    def quiescent(self) -> bool:
+        """True when no messages are in flight."""
+        return self.in_flight_total() == 0

@@ -1,0 +1,123 @@
+"""Structured tracing of simulation events.
+
+Tracing serves three purposes in this reproduction:
+
+* **Debugging** protocol runs (who sent what to whom, when);
+* **Verification** — the linearizability checker consumes operation
+  invocation/response trace events;
+* **Metrics** — the Table-1 harness derives message counts and on-wire bit
+  counts from ``send``/``deliver`` records (via
+  :class:`~repro.sim.network.NetworkStats`, which is cheaper, but traces allow
+  spot-checking the aggregates).
+
+The tracer is deliberately simple: an append-only list of
+:class:`TraceEvent` records plus filtering helpers.  It can be disabled
+(``enabled=False``) with near-zero overhead, which the large benchmark sweeps
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event was recorded.
+    kind:
+        Category string, e.g. ``"send"``, ``"deliver"``, ``"crash"``,
+        ``"invoke"``, ``"respond"``, ``"state"``.
+    source:
+        Process id the event originates from (or ``None`` for global events).
+    target:
+        Destination process id where applicable (message events).
+    detail:
+        Free-form payload describing the event (message repr, operation name,
+        state snapshot, ...).
+    """
+
+    time: float
+    kind: str
+    source: Optional[int] = None
+    target: Optional[int] = None
+    detail: Any = None
+
+
+@dataclass
+class Tracer:
+    """Append-only trace collector with filtering helpers."""
+
+    enabled: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        source: Optional[int] = None,
+        target: Optional[int] = None,
+        detail: Any = None,
+    ) -> None:
+        """Append a trace record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, kind, source, target, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self.events.clear()
+
+    # ------------------------------------------------------------- filtering
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[int] = None,
+        target: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        """Return the events matching all provided criteria."""
+        result = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if target is not None and event.target != target:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            result.append(event)
+        return result
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def kinds(self) -> set[str]:
+        """Set of distinct event kinds recorded so far."""
+        return {event.kind for event in self.events}
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (optionally truncated)."""
+        lines = []
+        events = self.events if limit is None else self.events[:limit]
+        for event in events:
+            src = "-" if event.source is None else f"p{event.source}"
+            dst = "" if event.target is None else f" -> p{event.target}"
+            lines.append(f"[{event.time:10.3f}] {event.kind:<8} {src}{dst}  {event.detail}")
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

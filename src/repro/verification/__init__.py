@@ -1,0 +1,33 @@
+"""Correctness checking: histories, atomicity, linearizability, convergence.
+
+The paper proves its algorithm correct; this reproduction *checks* every run
+instead.  Three layers:
+
+* :mod:`repro.verification.history` — turns the per-operation records
+  produced by the workload runner into a :class:`History` of invocation /
+  response intervals;
+* :mod:`repro.verification.register_checker` — a fast checker specialised to
+  single-writer registers with distinct written values; it verifies exactly
+  the three claims of Lemma 10 (no read from the future, no overwritten read,
+  no new/old inversion) plus the real-time ordering constraints they rely on;
+* :mod:`repro.verification.linearizability` — a general (exponential-time)
+  linearizability checker for read/write registers used on small histories to
+  cross-validate the fast checker in property-based tests, and to check MWMR
+  histories where the fast checker does not apply;
+* :mod:`repro.verification.invariants` — cross-algorithm quiescence checks
+  (e.g. "after the run drains, every correct replica converged to the last
+  written value").
+"""
+
+from repro.verification.history import History, Operation, OpKind
+from repro.verification.linearizability import is_linearizable
+from repro.verification.register_checker import AtomicityViolation, check_swmr_atomicity
+
+__all__ = [
+    "AtomicityViolation",
+    "History",
+    "OpKind",
+    "Operation",
+    "check_swmr_atomicity",
+    "is_linearizable",
+]

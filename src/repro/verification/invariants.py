@@ -1,0 +1,89 @@
+"""Cross-algorithm quiescence and convergence checks.
+
+These checks complement the per-event invariant monitor of
+:mod:`repro.core.invariants` (which is specific to the two-bit algorithm's
+local data structures).  They are meant to be run *after* a workload drains:
+
+* :func:`check_two_bit_convergence` — every correct process of a two-bit run
+  ends up with exactly the writer's history (once all forwarded messages have
+  been processed, Lemma 6 says every correct process catches up);
+* :func:`check_abd_convergence` — every correct ABD replica ends up holding
+  the pair with the highest sequence number that reached a majority;
+* :func:`check_quiescence` — no messages in flight and no events pending.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.process import TwoBitRegisterProcess
+from repro.registers.abd import AbdRegisterProcess
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+class ConvergenceError(AssertionError):
+    """Raised when correct processes fail to converge at quiescence."""
+
+
+def check_quiescence(simulator: Simulator, network: Network) -> None:
+    """Assert that no events are pending and no messages are in flight."""
+    if network.in_flight_total() != 0:
+        raise ConvergenceError(
+            f"{network.in_flight_total()} messages still in flight at supposed quiescence"
+        )
+    simulator.require_quiescent("convergence check")
+
+
+def check_two_bit_convergence(
+    processes: Sequence[TwoBitRegisterProcess],
+    writer_pid: int = 0,
+    require_full_history: bool = True,
+) -> None:
+    """Assert that every correct process converged to the writer's history.
+
+    ``require_full_history`` demands equality with the *entire* writer
+    history; relax it (prefix check only) when the run was cut off before the
+    dissemination of the last value could complete.
+    """
+    writer = next((p for p in processes if p.pid == writer_pid), None)
+    if writer is None or writer.state is None:
+        raise ValueError("writer process not found or not initialised")
+    expected = writer.state.history
+    for process in processes:
+        if process.crashed or process.state is None:
+            continue
+        got = process.state.history
+        if len(got) > len(expected):
+            raise ConvergenceError(
+                f"p{process.pid} knows {len(got)} values but the writer only wrote {len(expected)}"
+            )
+        if got != expected[: len(got)]:
+            raise ConvergenceError(
+                f"p{process.pid}'s history {got!r} is not a prefix of the writer's {expected!r}"
+            )
+        if require_full_history and len(got) != len(expected):
+            raise ConvergenceError(
+                f"p{process.pid} converged to only {len(got)} of the writer's "
+                f"{len(expected)} values at quiescence"
+            )
+
+
+def check_abd_convergence(
+    processes: Iterable[AbdRegisterProcess],
+    minimum_seq: int,
+) -> None:
+    """Assert that every correct ABD replica holds at least sequence number ``minimum_seq``.
+
+    ``minimum_seq`` is normally the sequence number of the last write that
+    completed; a majority is guaranteed to store it, and at quiescence (all
+    acknowledgement and write-back traffic drained) in a failure-free run
+    every replica does.
+    """
+    for process in processes:
+        if process.crashed:
+            continue
+        if process.seq < minimum_seq:
+            raise ConvergenceError(
+                f"ABD replica p{process.pid} holds seq {process.seq} < expected {minimum_seq}"
+            )

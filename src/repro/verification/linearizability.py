@@ -1,0 +1,170 @@
+"""General linearizability checker for read/write register histories.
+
+This is the reference oracle: a Wing–Gong style backtracking search over all
+linearization orders consistent with the history's real-time partial order
+and the sequential specification of a register (a read returns the most
+recently written value, or the initial value).  Its cost is exponential in
+the number of *concurrent* operations, so it is only used:
+
+* in property-based tests, to cross-validate the fast single-writer checker
+  of :mod:`repro.verification.register_checker` on small random histories;
+* on MWMR histories (produced by the ABD-MWMR ablation), which the fast
+  checker does not handle.
+
+Pending operations (no response) are handled per the linearizability
+definition: a pending **write** may be linearized (it might have taken
+effect) or dropped; pending **reads** impose no constraint and are ignored.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.verification.history import History, Operation
+
+
+def _hashable(value: Any) -> Any:
+    """Map a value to something hashable for memoisation."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _precedence_matrix(ops: Tuple[Operation, ...]) -> list[list[bool]]:
+    """``precedes[a][b]`` — operation ``a`` must be linearized before ``b``.
+
+    Two sources of ordering constraints:
+
+    * **real time** — ``a`` responded strictly before ``b`` was invoked;
+    * **program order** — ``a`` and ``b`` belong to the same (sequential)
+      process and ``a`` was invoked first.  This matters at the boundary
+      where an operation's response time equals the same process's next
+      invocation time (common in closed-loop clients with zero think time):
+      real-time precedence alone (strict inequality) would miss the edge.
+    """
+    def before(a: Operation, b: Operation) -> bool:
+        if a is b:
+            return False
+        if a.responded_at is not None and a.responded_at < b.invoked_at:
+            return True
+        if a.pid == b.pid:
+            if a.invoked_at < b.invoked_at:
+                return True
+            # Same invocation instant: fall back to op_id (creation order).
+            if a.invoked_at == b.invoked_at and a.op_id < b.op_id and a.responded_at is not None:
+                return True
+        return False
+
+    return [[before(ops[a], ops[b]) for b in range(len(ops))] for a in range(len(ops))]
+
+
+def is_linearizable(history: History, max_operations: int = 64) -> bool:
+    """Return True iff the history is linearizable w.r.t. the register specification.
+
+    Parameters
+    ----------
+    history:
+        The history to check.  Pending reads are ignored; pending writes are
+        optional (may or may not take effect).
+    max_operations:
+        Guard rail: histories larger than this raise ``ValueError`` because
+        the search could take far too long — use the fast checker for large
+        single-writer histories.
+    """
+    completed = [op for op in history.operations if not op.pending]
+    pending_writes = [op for op in history.operations if op.pending and op.is_write]
+    operations = completed + pending_writes
+    if len(operations) > max_operations:
+        raise ValueError(
+            f"history has {len(operations)} relevant operations, more than "
+            f"max_operations={max_operations}; use check_swmr_atomicity for large histories"
+        )
+
+    # Stable ids for memoisation.
+    ops: Tuple[Operation, ...] = tuple(operations)
+    ids = {id(op): index for index, op in enumerate(ops)}
+    optional = frozenset(ids[id(op)] for op in pending_writes)
+
+    precedes = _precedence_matrix(ops)
+
+    initial = _hashable(history.initial_value)
+
+    @lru_cache(maxsize=None)
+    def search(remaining: FrozenSet[int], current_value: Any) -> bool:
+        if not remaining:
+            return True
+        # An operation may be linearized next iff no other remaining operation
+        # strictly precedes it in real time.
+        for candidate in sorted(remaining):
+            if any(precedes[other][candidate] for other in remaining if other != candidate):
+                continue
+            op = ops[candidate]
+            rest = remaining - {candidate}
+            if op.is_write:
+                if search(rest, _hashable(op.value)):
+                    return True
+            else:
+                if _hashable(op.result) == current_value and search(rest, current_value):
+                    return True
+        # Alternatively, drop a minimal *pending* write entirely (it never took effect).
+        for candidate in sorted(remaining & optional):
+            if any(precedes[other][candidate] for other in remaining if other != candidate):
+                continue
+            if search(remaining - {candidate}, current_value):
+                return True
+        return False
+
+    try:
+        return search(frozenset(range(len(ops))), initial)
+    finally:
+        search.cache_clear()
+
+
+def find_linearization(history: History, max_operations: int = 32) -> Optional[list[Operation]]:
+    """Return one valid linearization order (completed ops only), or ``None``.
+
+    A debugging aid: when a history *is* linearizable this shows an order a
+    sequential register could have executed; when it is not, ``None``.
+    """
+    completed = [op for op in history.operations if not op.pending]
+    pending_writes = [op for op in history.operations if op.pending and op.is_write]
+    operations = completed + pending_writes
+    if len(operations) > max_operations:
+        raise ValueError(f"history too large ({len(operations)} ops) for find_linearization")
+    ops = tuple(operations)
+    optional = {index for index, op in enumerate(ops) if op.pending}
+    precedes = _precedence_matrix(ops)
+
+    order: list[int] = []
+
+    def search(remaining: frozenset[int], current_value: Any) -> bool:
+        if not remaining:
+            return True
+        for candidate in sorted(remaining):
+            if any(precedes[other][candidate] for other in remaining if other != candidate):
+                continue
+            op = ops[candidate]
+            rest = remaining - {candidate}
+            if op.is_write:
+                order.append(candidate)
+                if search(rest, op.value):
+                    return True
+                order.pop()
+            elif op.result == current_value:
+                order.append(candidate)
+                if search(rest, current_value):
+                    return True
+                order.pop()
+        for candidate in sorted(remaining & optional):
+            if any(precedes[other][candidate] for other in remaining if other != candidate):
+                continue
+            if search(remaining - {candidate}, current_value):
+                return True
+        return False
+
+    if search(frozenset(range(len(ops))), history.initial_value):
+        return [ops[index] for index in order]
+    return None

@@ -1,0 +1,263 @@
+"""Fast atomicity checker for single-writer register histories.
+
+Lemma 10 of the paper proves atomicity by establishing three claims about any
+run (``read[i, x]`` denotes a read by ``p_i`` returning the value with
+sequence number ``x``; ``write[y]`` the write of the value with sequence
+number ``y``):
+
+* **Claim 1** — *no read from the future*: if ``read[i, x]`` terminates before
+  ``write[y]`` starts, then ``x < y``.
+* **Claim 2** — *no overwritten read*: if ``write[x]`` terminates before
+  ``read[i, y]`` starts, then ``x <= y``.
+* **Claim 3** — *no new/old inversion*: if ``read[i, x]`` terminates before
+  ``read[j, y]`` starts, then ``x <= y``.
+
+For a **single-writer** register (writes are totally ordered by the writer's
+program order) these claims, together with every read returning either the
+initial value or some written value, are equivalent to atomicity — which is
+precisely why the paper's proof stops there.  This module checks them
+directly on a recorded history in ``O((R + W) log(R + W))`` time, where R/W
+are the numbers of reads/writes.  The general (exponential) checker in
+:mod:`repro.verification.linearizability` is used in property-based tests to
+cross-validate this one on small histories.
+
+Requirements on the history (enforced, with clear errors):
+
+* at most one writer process (pending writes included);
+* written values pairwise distinct and different from the initial value, so a
+  read's return value identifies the write it read from (the workload
+  generator guarantees this by construction);
+* pending operations are allowed: a pending write may or may not have taken
+  effect (it only ever *relaxes* Claim 2), and pending reads are ignored.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.verification.history import History, Operation
+
+
+class AtomicityViolation(AssertionError):
+    """Raised when a history is provably not atomic."""
+
+
+@dataclass
+class AtomicityReport:
+    """Result of checking a history.
+
+    Attributes
+    ----------
+    ok:
+        True when no violation was found.
+    violations:
+        Human-readable description of each violation found.
+    reads_checked / writes_checked:
+        Sizes of the checked history (completed operations only).
+    max_read_lag:
+        Over all completed reads, the largest difference between the newest
+        write index the read *could* have returned (writes invoked before the
+        read responded) and the index it did return — a staleness indicator
+        that is always 0 in a sequential run and bounded by concurrency in an
+        atomic one.
+    """
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    reads_checked: int = 0
+    writes_checked: int = 0
+    max_read_lag: int = 0
+
+    def record(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+
+def _index_reads(history: History) -> tuple[list[Operation], dict[Any, int]]:
+    """Return (writes in writer order, value -> sequence-number map)."""
+    writes = history.writes(include_pending=True)
+    writer_pids = history.writer_pids()
+    if len(writer_pids) > 1:
+        raise ValueError(
+            f"history has {len(writer_pids)} writers ({sorted(writer_pids)}); "
+            "the fast checker only handles single-writer histories — "
+            "use verification.linearizability.is_linearizable instead"
+        )
+    value_to_index: dict[Any, int] = {}
+    try:
+        value_to_index[history.initial_value] = 0
+    except TypeError as exc:  # unhashable initial value
+        raise ValueError("initial value must be hashable for the fast checker") from exc
+    for index, write in enumerate(writes, start=1):
+        if write.value in value_to_index:
+            raise ValueError(
+                f"written value {write.value!r} is not unique in the history; "
+                "the fast checker requires distinct written values — "
+                "use verification.linearizability.is_linearizable instead"
+            )
+        value_to_index[write.value] = index
+    return writes, value_to_index
+
+
+def check_swmr_atomicity(
+    history: History,
+    raise_on_violation: bool = True,
+) -> AtomicityReport:
+    """Check a single-writer history against the three claims of Lemma 10.
+
+    Returns an :class:`AtomicityReport`; if ``raise_on_violation`` is true the
+    first collected set of violations is raised as :class:`AtomicityViolation`
+    (with every violation listed in the message).
+    """
+    report = AtomicityReport()
+    writes, value_to_index = _index_reads(history)
+    completed_reads = history.reads(include_pending=False)
+    report.reads_checked = len(completed_reads)
+    report.writes_checked = len(writes)
+
+    # Pre-compute, for Claim 2: completed writes sorted by response time, with
+    # a running maximum of their indices.  For a read invoked at time T the
+    # strongest lower bound is the largest index among writes responded
+    # strictly before T.  (With a single sequential writer indices increase
+    # with response time, but we do not rely on that.)
+    completed_writes = [(w.responded_at, idx) for idx, w in enumerate(writes, start=1) if not w.pending]
+    completed_writes.sort(key=lambda pair: pair[0])
+    write_response_times = [pair[0] for pair in completed_writes]
+    prefix_max_index: list[int] = []
+    running = 0
+    for _time, idx in completed_writes:
+        running = max(running, idx)
+        prefix_max_index.append(running)
+
+    def min_index_for_read(read: Operation) -> int:
+        """Largest index among writes that responded strictly before the read was invoked."""
+        position = bisect.bisect_left(write_response_times, read.invoked_at)
+        if position == 0:
+            return 0
+        return prefix_max_index[position - 1]
+
+    # For Claim 1 and the staleness metric: writes sorted by invocation time.
+    writes_by_invocation = sorted(
+        ((w.invoked_at, idx) for idx, w in enumerate(writes, start=1)), key=lambda pair: pair[0]
+    )
+    write_invocation_times = [pair[0] for pair in writes_by_invocation]
+    prefix_max_invoked: list[int] = []
+    running = 0
+    for _time, idx in writes_by_invocation:
+        running = max(running, idx)
+        prefix_max_invoked.append(running)
+
+    def max_started_index(time: float) -> int:
+        """Largest write index whose invocation is <= ``time``."""
+        position = bisect.bisect_right(write_invocation_times, time)
+        if position == 0:
+            return 0
+        return prefix_max_invoked[position - 1]
+
+    # --- map each completed read to the index of the value it returned -------
+    read_indices: list[tuple[Operation, int]] = []
+    for read in completed_reads:
+        if read.result not in value_to_index:
+            report.record(
+                f"read returned a value that was never written: {read.describe()} "
+                f"(known values: initial {history.initial_value!r} plus {len(writes)} writes)"
+            )
+            continue
+        read_indices.append((read, value_to_index[read.result]))
+
+    # --- Claim 1: no read from the future ------------------------------------
+    for read, index in read_indices:
+        if index == 0:
+            continue
+        write = writes[index - 1]
+        if read.responded_at is not None and read.responded_at < write.invoked_at:
+            report.record(
+                "Claim 1 (read from the future): "
+                f"{read.describe()} returned the value of {write.describe()}, "
+                "which was written only after the read had already terminated"
+            )
+
+    # --- Claim 2: no overwritten read -----------------------------------------
+    for read, index in read_indices:
+        lower_bound = min_index_for_read(read)
+        if index < lower_bound:
+            overwritten = writes[lower_bound - 1]
+            report.record(
+                "Claim 2 (overwritten value): "
+                f"{read.describe()} returned write #{index} although {overwritten.describe()} "
+                f"(write #{lower_bound}) had already completed before the read started"
+            )
+        newest_possible = max_started_index(read.responded_at if read.responded_at is not None else read.invoked_at)
+        report.max_read_lag = max(report.max_read_lag, newest_possible - index)
+
+    # --- Program-order refinements --------------------------------------------
+    # Real-time precedence uses strict inequalities; for two operations of the
+    # *same* sequential process whose boundary times coincide (zero think
+    # time), program order still applies.  Two extra checks cover that:
+    #   (a) a read by the writer must not return a value older than the
+    #       writer's own latest write invoked before the read;
+    #   (b) successive reads by the same process must return non-decreasing
+    #       indices.
+    writer_pid = writes[0].pid if writes else None
+    if writer_pid is not None:
+        writer_reads = [(read, index) for read, index in read_indices if read.pid == writer_pid]
+        for read, index in writer_reads:
+            own_preceding = [
+                idx
+                for idx, write in enumerate(writes, start=1)
+                if write.responded_at is not None and write.invoked_at < read.invoked_at
+            ]
+            if own_preceding and index < max(own_preceding):
+                report.record(
+                    "program order (writer): "
+                    f"{read.describe()} returned write #{index} although the writer itself had "
+                    f"already completed write #{max(own_preceding)} before invoking the read"
+                )
+    by_reader: dict[int, list[tuple[Operation, int]]] = {}
+    for read, index in read_indices:
+        by_reader.setdefault(read.pid, []).append((read, index))
+    for pid, items in by_reader.items():
+        items.sort(key=lambda pair: (pair[0].invoked_at, pair[0].op_id))
+        best_so_far = 0
+        for read, index in items:
+            if index < best_so_far:
+                report.record(
+                    "program order (reader): "
+                    f"{read.describe()} returned write #{index} although an earlier read by the "
+                    f"same process p{pid} had already returned write #{best_so_far}"
+                )
+            best_so_far = max(best_so_far, index)
+
+    # --- Claim 3: no new/old inversion ----------------------------------------
+    # For each read, the indices of reads that *responded* strictly before its
+    # invocation must not exceed its own index.
+    reads_by_response = sorted(
+        ((read.responded_at, index) for read, index in read_indices), key=lambda pair: pair[0]
+    )
+    response_times = [pair[0] for pair in reads_by_response]
+    prefix_max_read_index: list[int] = []
+    running = 0
+    for _time, idx in reads_by_response:
+        running = max(running, idx)
+        prefix_max_read_index.append(running)
+
+    for read, index in read_indices:
+        position = bisect.bisect_left(response_times, read.invoked_at)
+        if position == 0:
+            continue
+        earlier_max = prefix_max_read_index[position - 1]
+        if earlier_max > index:
+            report.record(
+                "Claim 3 (new/old inversion): "
+                f"{read.describe()} returned write #{index} although an earlier read that had "
+                f"already terminated before it started returned write #{earlier_max}"
+            )
+
+    if not report.ok and raise_on_violation:
+        raise AtomicityViolation(
+            f"{len(report.violations)} atomicity violation(s):\n  - "
+            + "\n  - ".join(report.violations)
+        )
+    return report

@@ -1,0 +1,29 @@
+"""Workload generation and execution.
+
+A *workload* is a per-process script of register operations (who writes what,
+who reads, with which think times) plus the environment it runs in (delay
+model, crash schedule, seed).  The package provides:
+
+* :mod:`repro.workloads.spec` — the declarative :class:`WorkloadSpec`;
+* :mod:`repro.workloads.generator` — turning a spec into concrete per-process
+  operation scripts (seeded, reproducible, distinct written values);
+* :mod:`repro.workloads.runner` — deploying an algorithm on the simulator,
+  driving closed-loop clients through their scripts, and collecting the
+  history + metrics into a :class:`WorkloadResult`;
+* :mod:`repro.workloads.scenarios` — canned scenarios used by examples,
+  integration tests and the ablation benchmarks (read-dominated store,
+  crash storms, isolated-operation latency probes, ...).
+"""
+
+from repro.workloads.generator import ClientScript, ScriptedOperation, generate_scripts
+from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ClientScript",
+    "ScriptedOperation",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "generate_scripts",
+    "run_workload",
+]

@@ -1,0 +1,275 @@
+"""Deploy an algorithm, drive clients through their scripts, collect results.
+
+The runner is the single entry point the examples, integration tests and
+benchmarks use to execute a workload:
+
+>>> from repro.workloads import WorkloadSpec, run_workload
+>>> result = run_workload(WorkloadSpec(n=5, algorithm="two-bit", num_writes=5))
+>>> result.check_atomicity()          # raises if the history is not atomic
+>>> result.write_latencies()          # latencies in delta units
+[2.0, 2.0, 2.0, 2.0, 2.0]
+
+Two execution modes:
+
+* **concurrent (default)** — every client runs closed-loop: it issues its
+  next operation as soon as the previous one completes (plus think time).
+  Writers and readers overlap freely; this is the mode used for correctness
+  testing under contention.
+* **isolated** (``spec.isolated_operations=True``) — operations are issued
+  one at a time, globally, and the simulation is drained to quiescence after
+  each one.  Latency and message counts are then exactly attributable to
+  individual operations; this is how the Table-1 rows are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.invariants import GlobalInvariantMonitor, attach_monitor
+from repro.core.process import TwoBitRegisterProcess
+from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
+from repro.registers.registry import get_algorithm
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Network
+from repro.sim.process import ProcessCrashedError
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import Tracer
+from repro.verification.history import History
+from repro.verification.register_checker import AtomicityReport, check_swmr_atomicity
+from repro.workloads.generator import ClientScript, generate_scripts, interleave_isolated
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class PerOperationCost:
+    """Message/latency cost of one isolated operation (isolated mode only)."""
+
+    kind: OperationKind
+    pid: int
+    latency: float
+    messages: int
+    messages_to_completion: int
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a workload run produced."""
+
+    spec: WorkloadSpec
+    history: History
+    records: list[OperationRecord]
+    simulator: Simulator
+    network: Network
+    processes: Sequence[RegisterProcess]
+    monitor: Optional[GlobalInvariantMonitor] = None
+    isolated_costs: list[PerOperationCost] = field(default_factory=list)
+    finished_cleanly: bool = True
+
+    # ------------------------------------------------------------ convenience
+
+    @property
+    def stats(self) -> dict[str, Any]:
+        """Network statistics snapshot."""
+        return self.network.stats.snapshot()
+
+    def completed_records(self, kind: Optional[OperationKind] = None) -> list[OperationRecord]:
+        """Completed operation records, optionally filtered by kind."""
+        records = [r for r in self.records if r.completed]
+        if kind is not None:
+            records = [r for r in records if r.kind is kind]
+        return records
+
+    def write_latencies(self) -> list[float]:
+        """Latencies (virtual time) of completed writes."""
+        return [r.latency for r in self.completed_records(OperationKind.WRITE) if r.latency is not None]
+
+    def read_latencies(self) -> list[float]:
+        """Latencies (virtual time) of completed reads."""
+        return [r.latency for r in self.completed_records(OperationKind.READ) if r.latency is not None]
+
+    def total_messages(self) -> int:
+        """Messages sent over the whole run."""
+        return self.network.stats.messages_sent
+
+    def max_control_bits(self) -> int:
+        """Largest number of control bits carried by any single message in the run."""
+        return self.network.stats.max_control_bits
+
+    def local_memory_words(self) -> dict[int, int]:
+        """Per-process local-memory footprint at the end of the run."""
+        return {process.pid: process.local_memory_words() for process in self.processes}
+
+    def check_atomicity(self, raise_on_violation: bool = True) -> AtomicityReport:
+        """Run the fast SWMR atomicity checker on the recorded history."""
+        return check_swmr_atomicity(self.history, raise_on_violation=raise_on_violation)
+
+    def isolated_costs_by_kind(self, kind: OperationKind) -> list[PerOperationCost]:
+        """Isolated-mode per-operation costs of the given kind."""
+        return [cost for cost in self.isolated_costs if cost.kind is kind]
+
+
+def _build(spec: WorkloadSpec, trace: bool) -> tuple[Simulator, Network, list[RegisterProcess], Optional[GlobalInvariantMonitor]]:
+    simulator = Simulator(tracer=Tracer(enabled=trace))
+    # fresh(): rewind the delay model's RNG so re-running the same spec
+    # reproduces the exact same delays (delay models are stateful objects).
+    network = Network(simulator, delay_model=spec.delay_model.fresh())
+    algorithm = get_algorithm(spec.algorithm)
+    if spec.multi_writer and not algorithm.supports_multi_writer:
+        raise ValueError(f"algorithm {spec.algorithm!r} does not support multiple writers")
+    processes = algorithm.build(
+        simulator,
+        network,
+        spec.n,
+        writer_pid=spec.writer_pid,
+        initial_value=spec.initial_value,
+    )
+    monitor = None
+    if spec.check_invariants and all(isinstance(p, TwoBitRegisterProcess) for p in processes):
+        monitor = attach_monitor(
+            simulator,
+            [p for p in processes if isinstance(p, TwoBitRegisterProcess)],
+            writer_pid=spec.writer_pid,
+        )
+    if spec.crash_schedule is not None:
+        spec.crash_schedule.validate(spec.n)
+        FailureInjector(simulator, network, spec.crash_schedule).install()
+    return simulator, network, processes, monitor
+
+
+def _run_isolated(
+    spec: WorkloadSpec,
+    simulator: Simulator,
+    network: Network,
+    processes: Sequence[RegisterProcess],
+    scripts: dict[int, ClientScript],
+    records: list[OperationRecord],
+) -> tuple[list[PerOperationCost], bool]:
+    costs: list[PerOperationCost] = []
+    clean = True
+    for pid, scripted in interleave_isolated(scripts, spec.seed):
+        process = processes[pid]
+        if process.crashed:
+            continue
+        messages_before = network.stats.messages_sent
+        started_at = simulator.now
+        try:
+            if scripted.kind is OperationKind.WRITE:
+                record = process.invoke_write(scripted.value, lambda _r: None)
+            else:
+                record = process.invoke_read(lambda _r: None)
+        except ProcessCrashedError:
+            continue
+        records.append(record)
+        completed = simulator.run_until(
+            lambda: record.completed, limit=started_at + spec.max_virtual_time
+        )
+        if not completed:
+            clean = False
+            continue
+        messages_at_completion = network.stats.messages_sent
+        # Drain residual dissemination (forwarded WRITEs, late acknowledgements)
+        # so the next operation starts from a quiescent system and the whole
+        # cost of this operation is attributed to it.
+        simulator.run()
+        costs.append(
+            PerOperationCost(
+                kind=scripted.kind,
+                pid=pid,
+                latency=record.latency if record.latency is not None else float("nan"),
+                messages=network.stats.messages_sent - messages_before,
+                messages_to_completion=messages_at_completion - messages_before,
+            )
+        )
+    return costs, clean
+
+
+def _run_concurrent(
+    spec: WorkloadSpec,
+    simulator: Simulator,
+    processes: Sequence[RegisterProcess],
+    scripts: dict[int, ClientScript],
+    records: list[OperationRecord],
+) -> bool:
+    outstanding = {pid: len(script.operations) for pid, script in scripts.items()}
+
+    def drive(pid: int, index: int) -> None:
+        """Issue operation ``index`` of ``pid``'s script, then chain the next one."""
+        script = scripts[pid]
+        if index >= len(script.operations):
+            return
+        process = processes[pid]
+        if process.crashed:
+            # The client dies with its process; remaining operations are never issued.
+            outstanding[pid] = 0
+            return
+        scripted = script.operations[index]
+
+        def on_complete(_record: OperationRecord) -> None:
+            outstanding[pid] = len(script.operations) - index - 1
+            next_index = index + 1
+            if next_index >= len(script.operations):
+                return
+            think = script.operations[next_index].think_time
+            if think > 0:
+                simulator.schedule_after(think, lambda: drive(pid, next_index), label=f"p{pid} think")
+            else:
+                drive(pid, next_index)
+
+        try:
+            if scripted.kind is OperationKind.WRITE:
+                record = process.invoke_write(scripted.value, on_complete)
+            else:
+                record = process.invoke_read(on_complete)
+        except ProcessCrashedError:
+            outstanding[pid] = 0
+            return
+        records.append(record)
+
+    for pid, script in scripts.items():
+        simulator.schedule_at(script.start_delay, lambda p=pid: drive(p, 0), label=f"p{pid} start")
+
+    def all_done() -> bool:
+        # A client is "done" when it has no more operations to issue and its
+        # last issued operation completed (or its process crashed).
+        for pid in scripts:
+            process = processes[pid]
+            if process.crashed:
+                continue
+            if outstanding.get(pid, 0) > 0:
+                return False
+            current = process.current_operation
+            if current is not None and not current.completed:
+                return False
+        return True
+
+    finished = simulator.run_until(all_done, limit=spec.max_virtual_time)
+    # Drain the tail: forwarded WRITE messages, PROCEEDs in flight, etc.
+    simulator.run(until=spec.max_virtual_time)
+    return finished
+
+
+def run_workload(spec: WorkloadSpec, trace: bool = False) -> WorkloadResult:
+    """Execute ``spec`` and return the collected :class:`WorkloadResult`."""
+    simulator, network, processes, monitor = _build(spec, trace)
+    scripts = generate_scripts(spec)
+    records: list[OperationRecord] = []
+
+    if spec.isolated_operations:
+        isolated_costs, clean = _run_isolated(spec, simulator, network, processes, scripts, records)
+    else:
+        isolated_costs = []
+        clean = _run_concurrent(spec, simulator, processes, scripts, records)
+
+    history = History.from_records(records, initial_value=spec.initial_value)
+    return WorkloadResult(
+        spec=spec,
+        history=history,
+        records=records,
+        simulator=simulator,
+        network=network,
+        processes=processes,
+        monitor=monitor,
+        isolated_costs=isolated_costs,
+        finished_cleanly=clean,
+    )

@@ -1,0 +1,132 @@
+"""Canned workload scenarios.
+
+These are the named configurations the examples, integration tests and
+ablation benchmarks share, so "the read-dominated scenario" means exactly the
+same thing everywhere.  Each function returns a fully populated
+:class:`~repro.workloads.spec.WorkloadSpec` that can be further customised
+with :meth:`WorkloadSpec.with_`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.delays import ExponentialDelay, FixedDelay, UniformDelay
+from repro.sim.failures import CrashSchedule, random_crash_schedule
+from repro.workloads.spec import WorkloadSpec
+
+
+def quickstart(n: int = 5, algorithm: str = "two-bit", seed: int = 0) -> WorkloadSpec:
+    """A tiny failure-free mixed workload — the one the quickstart example runs."""
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=5,
+        reads_per_reader=5,
+        delay_model=FixedDelay(1.0),
+        check_invariants=(algorithm == "two-bit"),
+        seed=seed,
+    )
+
+
+def read_dominated(
+    n: int = 7,
+    algorithm: str = "two-bit",
+    reads_per_reader: int = 50,
+    num_writes: int = 5,
+    seed: int = 1,
+) -> WorkloadSpec:
+    """The paper's motivating setting: a read-dominated application.
+
+    Section 5 argues the O(n) read cost "can benefit read-dominated
+    applications"; this scenario is what the corresponding ablation benchmark
+    sweeps over algorithms and ``n``.
+    """
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=num_writes,
+        reads_per_reader=reads_per_reader,
+        read_think_time=0.5,
+        write_think_time=5.0,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def write_heavy(n: int = 5, algorithm: str = "two-bit", num_writes: int = 50, seed: int = 2) -> WorkloadSpec:
+    """A write-heavy stream with a few auditing readers."""
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=num_writes,
+        reads_per_reader=5,
+        read_think_time=3.0,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def contended(n: int = 5, algorithm: str = "two-bit", seed: int = 3) -> WorkloadSpec:
+    """Readers and the writer hammering the register simultaneously with random delays.
+
+    This is the scenario that most stresses the atomicity checker: heavy
+    message reordering plus overlapping operations.
+    """
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=20,
+        reads_per_reader=20,
+        delay_model=ExponentialDelay(base=0.1, mean=0.8, cap=6.0, seed=seed),
+        check_invariants=(algorithm == "two-bit"),
+        seed=seed,
+    )
+
+
+def crash_storm(
+    n: int = 7,
+    algorithm: str = "two-bit",
+    seed: int = 4,
+    crash_writer: bool = False,
+    schedule: Optional[CrashSchedule] = None,
+) -> WorkloadSpec:
+    """A minority of processes crash mid-run.
+
+    By default the writer is spared so the workload's writes terminate (the
+    liveness guarantee only covers operations by correct processes); pass
+    ``crash_writer=True`` to explore reader liveness when the writer dies.
+    """
+    if schedule is None:
+        exclude = () if crash_writer else (0,)
+        schedule = random_crash_schedule(n, seed=seed, horizon=30.0, exclude=exclude)
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=15,
+        reads_per_reader=15,
+        delay_model=UniformDelay(0.2, 1.5, seed=seed),
+        crash_schedule=schedule,
+        seed=seed,
+        max_virtual_time=5_000.0,
+    )
+
+
+def isolated_latency_probe(
+    n: int = 5,
+    algorithm: str = "two-bit",
+    num_writes: int = 5,
+    reads_per_reader: int = 2,
+    delta: float = 1.0,
+    seed: int = 5,
+) -> WorkloadSpec:
+    """Isolated operations under a fixed delay ``delta`` — the Table-1 measurement regime."""
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=num_writes,
+        reads_per_reader=reads_per_reader,
+        delay_model=FixedDelay(delta),
+        isolated_operations=True,
+        seed=seed,
+    )

@@ -1,0 +1,120 @@
+"""Unit tests for the four message types and their control-bit accounting."""
+
+import pytest
+
+from repro.core.messages import (
+    CONTROL_BITS_PER_MESSAGE,
+    WIRE_CODES,
+    ProceedMessage,
+    ReadMessage,
+    WriteMessage,
+    bits_needed_for_types,
+    make_write_message,
+    message_type_count,
+)
+
+
+class TestWriteMessage:
+    def test_bit_must_be_binary(self):
+        WriteMessage(bit=0, value="v")
+        WriteMessage(bit=1, value="v")
+        with pytest.raises(ValueError):
+            WriteMessage(bit=2, value="v")
+        with pytest.raises(ValueError):
+            WriteMessage(bit=-1, value="v")
+
+    def test_type_name_follows_bit(self):
+        assert WriteMessage(bit=0, value="x").type_name == "WRITE0"
+        assert WriteMessage(bit=1, value="x").type_name == "WRITE1"
+
+    def test_control_bits_is_always_two(self):
+        for bit in (0, 1):
+            for value in ("v", 123456789, b"blob" * 100, None):
+                assert WriteMessage(bit=bit, value=value).control_bits() == 2
+
+    def test_data_bits_scale_with_value_size(self):
+        small = WriteMessage(bit=0, value="a")
+        large = WriteMessage(bit=0, value="a" * 100)
+        assert small.data_bits() == 8
+        assert large.data_bits() == 800
+
+    def test_data_bits_for_various_types(self):
+        assert WriteMessage(bit=0, value=None).data_bits() == 0
+        assert WriteMessage(bit=0, value=True).data_bits() == 1
+        assert WriteMessage(bit=0, value=255).data_bits() == 8
+        assert WriteMessage(bit=0, value=3.14).data_bits() == 64
+        assert WriteMessage(bit=0, value=b"ab").data_bits() == 16
+        assert WriteMessage(bit=0, value=["x"]).data_bits() > 0
+
+    def test_wire_codes_distinct_and_two_bits(self):
+        assert WriteMessage(bit=0, value="v").wire_code() == WIRE_CODES["WRITE0"]
+        assert WriteMessage(bit=1, value="v").wire_code() == WIRE_CODES["WRITE1"]
+
+    def test_repr(self):
+        assert repr(WriteMessage(bit=1, value="v3")) == "WRITE1('v3')"
+
+    def test_messages_are_immutable(self):
+        message = WriteMessage(bit=0, value="v")
+        with pytest.raises(AttributeError):
+            message.bit = 1
+
+
+class TestControlOnlyMessages:
+    def test_read_message(self):
+        message = ReadMessage()
+        assert message.type_name == "READ"
+        assert message.control_bits() == 2
+        assert message.data_bits() == 0
+        assert repr(message) == "READ()"
+
+    def test_proceed_message(self):
+        message = ProceedMessage()
+        assert message.type_name == "PROCEED"
+        assert message.control_bits() == 2
+        assert message.data_bits() == 0
+        assert repr(message) == "PROCEED()"
+
+    def test_control_only_messages_compare_equal(self):
+        assert ReadMessage() == ReadMessage()
+        assert ProceedMessage() == ProceedMessage()
+
+
+class TestHeadlineClaim:
+    """Theorem 2: four message types, two control bits, only WRITEs carry data."""
+
+    def test_exactly_four_types(self):
+        assert message_type_count() == 4
+        assert len(set(WIRE_CODES.values())) == 4
+
+    def test_two_bits_suffice_for_four_types(self):
+        assert bits_needed_for_types(4) == 2
+        assert CONTROL_BITS_PER_MESSAGE == 2
+
+    def test_all_wire_codes_fit_in_two_bits(self):
+        assert all(0 <= code < 4 for code in WIRE_CODES.values())
+
+    def test_bits_needed_for_types_edge_cases(self):
+        assert bits_needed_for_types(1) == 1
+        assert bits_needed_for_types(2) == 1
+        assert bits_needed_for_types(3) == 2
+        assert bits_needed_for_types(5) == 3
+        with pytest.raises(ValueError):
+            bits_needed_for_types(0)
+
+
+class TestMakeWriteMessage:
+    def test_parity_follows_sequence_number(self):
+        assert make_write_message(1, "v1").bit == 1
+        assert make_write_message(2, "v2").bit == 0
+        assert make_write_message(3, "v3").bit == 1
+        assert make_write_message(100, "v100").bit == 0
+
+    def test_sequence_number_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_write_message(0, "v0")
+        with pytest.raises(ValueError):
+            make_write_message(-1, "oops")
+
+    def test_value_is_carried_unchanged(self):
+        payload = {"nested": ["structure", 1]}
+        assert make_write_message(1, payload).value is payload

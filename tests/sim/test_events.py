@@ -1,0 +1,112 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, always, never
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"), label="c")
+        queue.push(1.0, lambda: fired.append("a"), label="a")
+        queue.push(2.0, lambda: fired.append("b"), label="b")
+        while queue:
+            queue.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in ["first", "second", "third"]:
+            queue.push(5.0, lambda n=name: fired.append(n), label=name)
+        while queue:
+            queue.pop().action()
+        assert fired == ["first", "second", "third"]
+
+    def test_len_counts_live_events_only(self):
+        queue = EventQueue()
+        event_a = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(event_a)
+        assert len(queue) == 1
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        queue.cancel(event)
+        while queue:
+            queue.pop().action()
+        assert fired == ["kept"]
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty_queue(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_queue_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_clear_discards_everything(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_pending_labels_sorted_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, label="late")
+        queue.push(1.0, lambda: None, label="early")
+        assert queue.pending_labels() == ["early", "late"]
+
+    def test_bool_conversion(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, lambda: None)
+        assert queue
+
+
+class TestEvent:
+    def test_ordering_by_time_then_seq(self):
+        early = Event(time=1.0, seq=5, action=lambda: None)
+        late = Event(time=2.0, seq=1, action=lambda: None)
+        assert early < late
+        tie_a = Event(time=1.0, seq=1, action=lambda: None)
+        tie_b = Event(time=1.0, seq=2, action=lambda: None)
+        assert tie_a < tie_b
+
+    def test_cancel_sets_flag(self):
+        event = Event(time=0.0, seq=0, action=lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+
+def test_predicate_helpers():
+    assert always() is True
+    assert never() is False
+    assert always("anything") is True
+    assert never("anything") is False

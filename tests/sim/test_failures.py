@@ -1,0 +1,137 @@
+"""Unit tests for crash schedules and failure injection."""
+
+import pytest
+
+from repro.sim.failures import (
+    CrashEvent,
+    CrashSchedule,
+    FailureInjector,
+    random_crash_schedule,
+)
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+from tests.sim.conftest import build_recorders
+
+
+class TestCrashEvent:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            CrashEvent(pid=0)
+        with pytest.raises(ValueError):
+            CrashEvent(pid=0, at_time=1.0, after_messages_sent=3)
+
+    def test_rejects_negative_triggers(self):
+        with pytest.raises(ValueError):
+            CrashEvent(pid=0, at_time=-1.0)
+        with pytest.raises(ValueError):
+            CrashEvent(pid=0, after_messages_sent=-1)
+
+
+class TestCrashSchedule:
+    def test_none_schedule_is_empty(self):
+        schedule = CrashSchedule.none()
+        assert len(schedule) == 0
+        assert schedule.crashed_pids == []
+
+    def test_at_times_constructor(self):
+        schedule = CrashSchedule.at_times({2: 5.0, 1: 3.0})
+        assert schedule.crashed_pids == [1, 2]
+        assert len(schedule) == 2
+
+    def test_after_messages_constructor(self):
+        schedule = CrashSchedule.after_messages({0: 3})
+        assert schedule.events[0].after_messages_sent == 3
+
+    def test_validate_rejects_unknown_pid(self):
+        schedule = CrashSchedule.at_times({9: 1.0})
+        with pytest.raises(ValueError, match="unknown process"):
+            schedule.validate(n=5)
+
+    def test_validate_rejects_double_crash(self):
+        schedule = CrashSchedule(
+            events=[CrashEvent(pid=1, at_time=1.0), CrashEvent(pid=1, at_time=2.0)]
+        )
+        with pytest.raises(ValueError, match="twice"):
+            schedule.validate(n=5)
+
+    def test_validate_rejects_majority_crashes(self):
+        schedule = CrashSchedule.at_times({0: 1.0, 1: 1.0, 2: 1.0})
+        with pytest.raises(ValueError, match="t < n/2"):
+            schedule.validate(n=5)
+
+    def test_validate_accepts_exact_minority(self):
+        CrashSchedule.at_times({0: 1.0, 1: 1.0}).validate(n=5)
+        CrashSchedule.at_times({0: 1.0, 1: 1.0, 2: 1.0}).validate(n=7)
+
+    def test_validate_writer_protection(self):
+        schedule = CrashSchedule.at_times({0: 1.0})
+        schedule.validate(n=5, writer_pid=0, allow_writer_crash=True)
+        with pytest.raises(ValueError, match="writer"):
+            schedule.validate(n=5, writer_pid=0, allow_writer_crash=False)
+
+
+class TestFailureInjector:
+    def test_timed_crash_fires_at_the_scheduled_time(self, simulator, network):
+        processes = build_recorders(simulator, network, 3)
+        schedule = CrashSchedule.at_times({1: 7.0})
+        FailureInjector(simulator, network, schedule).install()
+        simulator.schedule_at(20.0, lambda: None)  # keep the clock moving
+        simulator.run()
+        assert processes[1].crashed
+        assert processes[1].crash_time == 7.0
+        assert not processes[0].crashed and not processes[2].crashed
+
+    def test_install_is_idempotent(self, simulator, network):
+        build_recorders(simulator, network, 2)
+        injector = FailureInjector(simulator, network, CrashSchedule.at_times({1: 1.0}))
+        injector.install()
+        injector.install()
+        assert simulator.pending_events == 1
+
+    def test_message_count_triggered_crash(self, simulator, network):
+        processes = build_recorders(simulator, network, 3)
+        schedule = CrashSchedule.after_messages({0: 2})
+        FailureInjector(simulator, network, schedule).install()
+        processes[0].send(1, "first")
+        simulator.run()
+        assert not processes[0].crashed
+        processes[0].send(2, "second")
+        simulator.run()
+        assert processes[0].crashed
+        processes[0].send(1, "third")
+        simulator.run()
+        assert network.stats.messages_sent == 2
+
+    def test_zero_message_trigger_crashes_immediately(self, simulator, network):
+        processes = build_recorders(simulator, network, 2)
+        FailureInjector(simulator, network, CrashSchedule.after_messages({0: 0})).install()
+        assert processes[0].crashed
+
+
+class TestRandomSchedules:
+    def test_reproducible_for_same_seed(self):
+        a = random_crash_schedule(n=9, seed=42)
+        b = random_crash_schedule(n=9, seed=42)
+        assert [(e.pid, e.at_time) for e in a.events] == [(e.pid, e.at_time) for e in b.events]
+
+    def test_respects_minority_bound(self):
+        for seed in range(30):
+            schedule = random_crash_schedule(n=7, seed=seed)
+            assert len(schedule.crashed_pids) <= 3
+            schedule.validate(n=7)
+
+    def test_excluded_pids_never_crash(self):
+        for seed in range(30):
+            schedule = random_crash_schedule(n=7, seed=seed, exclude=(0,))
+            assert 0 not in schedule.crashed_pids
+
+    def test_max_crashes_cap(self):
+        for seed in range(30):
+            schedule = random_crash_schedule(n=9, seed=seed, max_crashes=1)
+            assert len(schedule.crashed_pids) <= 1
+
+    def test_crash_times_within_horizon(self):
+        schedule = random_crash_schedule(n=9, seed=3, horizon=10.0)
+        for event in schedule.events:
+            assert 0.0 <= event.at_time <= 10.0

@@ -1,0 +1,182 @@
+"""Unit tests for the virtual-time simulator."""
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Simulator, run_all
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_at_and_run(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(2.0, lambda: times.append(sim.now))
+        sim.schedule_at(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_schedule_after_uses_current_time(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule_at(5.0, lambda: sim.schedule_after(3.0, lambda: observed.append(sim.now)))
+        sim.run()
+        assert observed == [8.0]
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_executed_and_pending_counters(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.step()
+        assert sim.executed_events == 1
+        assert sim.pending_events == 1
+
+
+class TestRunModes:
+    def test_run_until_time_limit_leaves_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        state = {"count": 0}
+
+        def bump():
+            state["count"] += 1
+
+        for t in range(1, 10):
+            sim.schedule_at(float(t), bump)
+        satisfied = sim.run_until(lambda: state["count"] >= 3)
+        assert satisfied
+        assert state["count"] == 3
+        assert sim.now == 3.0
+
+    def test_run_until_predicate_already_true(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.run_until(lambda: True)
+        assert sim.executed_events == 0
+
+    def test_run_until_returns_false_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        assert not sim.run_until(lambda: False)
+
+    def test_run_until_with_limit(self):
+        sim = Simulator()
+        sim.schedule_at(100.0, lambda: None)
+        assert not sim.run_until(lambda: False, limit=10.0)
+        assert sim.now == 10.0
+
+    def test_stop_halts_the_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [(1, None)] or fired == [1]  # tuple from the lambda expression
+        assert sim.pending_events == 1
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_drain_executes_everything(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule_at(float(t), lambda t=t: fired.append(t))
+        sim.drain()
+        assert fired == [0, 1, 2, 3, 4]
+
+
+class TestSafetyAndObservers:
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def reschedule():
+            sim.schedule_after(1.0, reschedule)
+
+        sim.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_observer_called_after_every_event(self):
+        sim = Simulator()
+        calls = []
+        sim.add_observer(lambda s: calls.append(s.now))
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert calls == [1.0, 2.0]
+
+    def test_remove_observer(self):
+        sim = Simulator()
+        calls = []
+        observer = lambda s: calls.append(s.now)  # noqa: E731
+        sim.add_observer(observer)
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        sim.remove_observer(observer)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert calls == [1.0]
+
+    def test_require_quiescent_raises_with_pending_events(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None, label="straggler")
+        with pytest.raises(SimulationError, match="straggler"):
+            sim.require_quiescent("test")
+
+    def test_require_quiescent_passes_when_empty(self):
+        sim = Simulator()
+        sim.require_quiescent()  # must not raise
+
+    def test_run_all_drains_multiple_simulators(self):
+        sims = [Simulator() for _ in range(3)]
+        fired = []
+        for index, sim in enumerate(sims):
+            sim.schedule_at(1.0, lambda i=index: fired.append(i))
+        run_all(sims)
+        assert sorted(fired) == [0, 1, 2]
+
+
+def test_determinism_same_schedule_same_order():
+    """Two identically configured simulators execute identically."""
+
+    def build():
+        sim = Simulator()
+        order = []
+        for t in [3.0, 1.0, 2.0, 1.0]:
+            sim.schedule_at(t, lambda t=t: order.append((sim.now, t)))
+        sim.run()
+        return order
+
+    assert build() == build()

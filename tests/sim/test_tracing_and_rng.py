@@ -1,0 +1,89 @@
+"""Unit tests for the tracer and the seeded RNG helpers."""
+
+from repro.sim.rng import derive_seed, make_rng
+from repro.sim.tracing import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_record_and_len(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", 0, 1, "msg")
+        tracer.record(2.0, "deliver", 0, 1, "msg")
+        assert len(tracer) == 2
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "send", 0, 1, "msg")
+        assert len(tracer) == 0
+
+    def test_filter_by_kind_source_target(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", 0, 1, "a")
+        tracer.record(2.0, "send", 1, 0, "b")
+        tracer.record(3.0, "deliver", 0, 1, "a")
+        assert len(tracer.filter(kind="send")) == 2
+        assert len(tracer.filter(kind="send", source=0)) == 1
+        assert len(tracer.filter(target=1)) == 2
+        assert len(tracer.filter(predicate=lambda e: e.detail == "b")) == 1
+
+    def test_count_and_kinds(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send")
+        tracer.record(2.0, "send")
+        tracer.record(3.0, "crash")
+        assert tracer.count("send") == 2
+        assert tracer.kinds() == {"send", "crash"}
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_iteration_yields_trace_events(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", 0, 1, "x")
+        events = list(tracer)
+        assert len(events) == 1
+        assert isinstance(events[0], TraceEvent)
+        assert events[0].kind == "send"
+
+    def test_format_truncation(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(float(i), "send", 0, 1, f"m{i}")
+        text = tracer.format(limit=2)
+        assert "m0" in text and "m1" in text
+        assert "3 more events" in text
+
+    def test_format_full(self):
+        tracer = Tracer()
+        tracer.record(1.0, "crash", 2)
+        text = tracer.format()
+        assert "crash" in text and "p2" in text
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "delays") == derive_seed(42, "delays")
+
+    def test_derive_seed_varies_with_labels(self):
+        assert derive_seed(42, "delays") != derive_seed(42, "workload")
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+
+    def test_derive_seed_varies_with_master(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(7, "stream")
+        b = make_rng(7, "stream")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_make_rng_independent_streams(self):
+        a = make_rng(7, "stream-a")
+        b = make_rng(7, "stream-b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_make_rng_none_seed_gives_unseeded_generator(self):
+        rng = make_rng(None)
+        assert 0.0 <= rng.random() < 1.0

@@ -1,0 +1,130 @@
+"""Unit tests for the general linearizability checker (the reference oracle)."""
+
+import pytest
+
+from repro.verification.history import make_history
+from repro.verification.linearizability import find_linearization, is_linearizable
+
+
+def lin(entries, initial="v0", **kwargs):
+    return is_linearizable(make_history(entries, initial_value=initial), **kwargs)
+
+
+class TestLinearizableHistories:
+    def test_empty_history(self):
+        assert lin([])
+
+    def test_sequential_run(self):
+        assert lin(
+            [
+                (0, "write", "a", 0.0, 1.0),
+                (1, "read", "a", 2.0, 3.0),
+                (0, "write", "b", 4.0, 5.0),
+                (2, "read", "b", 6.0, 7.0),
+            ]
+        )
+
+    def test_read_of_initial_value(self):
+        assert lin([(1, "read", "v0", 0.0, 1.0)])
+
+    def test_concurrent_read_sees_either_value(self):
+        for value in ("v0", "a"):
+            assert lin([(0, "write", "a", 0.0, 10.0), (1, "read", value, 2.0, 8.0)])
+
+    def test_concurrent_writes_any_order(self):
+        """Two overlapping writes by different processes: both orders are valid."""
+        for final in ("a", "b"):
+            assert lin(
+                [
+                    (0, "write", "a", 0.0, 10.0),
+                    (1, "write", "b", 1.0, 9.0),
+                    (2, "read", final, 11.0, 12.0),
+                ]
+            )
+
+    def test_pending_write_optional(self):
+        assert lin([(0, "write", "a", 0.0, None), (1, "read", "v0", 5.0, 6.0)])
+        assert lin([(0, "write", "a", 0.0, None), (1, "read", "a", 5.0, 6.0)])
+
+    def test_pending_read_ignored(self):
+        assert lin([(0, "write", "a", 0.0, 1.0), (1, "read", None, 2.0, None)])
+
+    def test_mwmr_interleaving(self):
+        assert lin(
+            [
+                (0, "write", "a", 0.0, 2.0),
+                (1, "write", "b", 1.0, 3.0),
+                (2, "read", "a", 2.5, 4.0),
+                (2, "read", "b", 5.0, 6.0),
+            ]
+        )
+
+
+class TestNonLinearizableHistories:
+    def test_stale_read_after_completed_write(self):
+        assert not lin([(0, "write", "a", 0.0, 1.0), (1, "read", "v0", 2.0, 3.0)])
+
+    def test_read_from_the_future(self):
+        assert not lin([(1, "read", "a", 0.0, 1.0), (0, "write", "a", 5.0, 6.0)])
+
+    def test_new_old_inversion(self):
+        assert not lin(
+            [
+                (0, "write", "a", 0.0, 10.0),
+                (1, "read", "a", 1.0, 2.0),
+                (2, "read", "v0", 3.0, 4.0),
+            ]
+        )
+
+    def test_value_never_written(self):
+        assert not lin([(1, "read", "ghost", 0.0, 1.0)])
+
+    def test_overwritten_value_with_concurrent_writers(self):
+        # write(a) fully precedes write(b); a read after both must not see "a"... it can!
+        # Only a read that precedes nothing and follows both writes seeing the
+        # *earlier* one is wrong.
+        assert not lin(
+            [
+                (0, "write", "a", 0.0, 1.0),
+                (1, "write", "b", 2.0, 3.0),
+                (2, "read", "a", 4.0, 5.0),
+            ]
+        )
+
+
+class TestGuards:
+    def test_history_size_guard(self):
+        entries = [(0, "write", f"v{i}", float(i), float(i) + 0.5) for i in range(70)]
+        with pytest.raises(ValueError, match="max_operations"):
+            lin(entries, max_operations=64)
+
+    def test_unhashable_values_are_handled(self):
+        assert lin([(0, "write", ["list"], 0.0, 1.0), (1, "read", ["list"], 2.0, 3.0)], initial=None)
+
+
+class TestFindLinearization:
+    def test_returns_an_order_for_valid_histories(self):
+        history = make_history(
+            [
+                (0, "write", "a", 0.0, 10.0),
+                (1, "read", "a", 2.0, 8.0),
+            ],
+            initial_value="v0",
+        )
+        order = find_linearization(history)
+        assert order is not None
+        assert [op.kind.value for op in order] == ["write", "read"]
+
+    def test_returns_none_for_invalid_histories(self):
+        history = make_history(
+            [(0, "write", "a", 0.0, 1.0), (1, "read", "v0", 2.0, 3.0)], initial_value="v0"
+        )
+        assert find_linearization(history) is None
+
+    def test_size_guard(self):
+        history = make_history(
+            [(0, "write", f"v{i}", float(i), float(i) + 0.5) for i in range(40)],
+            initial_value="v0",
+        )
+        with pytest.raises(ValueError):
+            find_linearization(history, max_operations=32)

@@ -1,0 +1,172 @@
+"""Unit tests for the fast SWMR atomicity checker (the three claims of Lemma 10)."""
+
+import pytest
+
+from repro.verification.history import make_history
+from repro.verification.register_checker import AtomicityViolation, check_swmr_atomicity
+
+
+def check(entries, initial="v0", raise_on_violation=False):
+    return check_swmr_atomicity(
+        make_history(entries, initial_value=initial), raise_on_violation=raise_on_violation
+    )
+
+
+class TestAcceptedHistories:
+    def test_empty_history_is_atomic(self):
+        assert check([]).ok
+
+    def test_sequential_history_is_atomic(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 1.0),
+                (1, "read", "v1", 2.0, 3.0),
+                (0, "write", "v2", 4.0, 5.0),
+                (2, "read", "v2", 6.0, 7.0),
+            ]
+        )
+        assert report.ok
+        assert report.reads_checked == 2
+        assert report.writes_checked == 2
+
+    def test_read_of_initial_value_before_any_write(self):
+        assert check([(1, "read", "v0", 0.0, 1.0), (0, "write", "v1", 2.0, 3.0)]).ok
+
+    def test_read_concurrent_with_write_may_return_either_value(self):
+        for returned in ("v0", "v1"):
+            assert check(
+                [(0, "write", "v1", 0.0, 10.0), (1, "read", returned, 1.0, 9.0)]
+            ).ok
+
+    def test_pending_write_may_or_may_not_be_observed(self):
+        for returned in ("v0", "v1"):
+            assert check(
+                [(0, "write", "v1", 0.0, None), (1, "read", returned, 5.0, 6.0)]
+            ).ok
+
+    def test_pending_reads_are_ignored(self):
+        assert check(
+            [(0, "write", "v1", 0.0, 1.0), (1, "read", None, 2.0, None)]
+        ).ok
+
+    def test_two_concurrent_reads_spanning_a_write(self):
+        # Both reads overlap the write; one sees the old value, one the new:
+        # allowed in either order because neither read precedes the other.
+        assert check(
+            [
+                (0, "write", "v1", 0.0, 10.0),
+                (1, "read", "v1", 1.0, 9.0),
+                (2, "read", "v0", 2.0, 8.0),
+            ]
+        ).ok
+
+    def test_max_read_lag_metric(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 10.0),
+                (1, "read", "v0", 1.0, 9.0),
+            ]
+        )
+        assert report.ok
+        assert report.max_read_lag == 1
+
+
+class TestClaim1ReadFromTheFuture:
+    def test_read_cannot_return_a_value_written_after_it_finished(self):
+        report = check(
+            [
+                (1, "read", "v1", 0.0, 1.0),
+                (0, "write", "v1", 5.0, 6.0),
+            ]
+        )
+        assert not report.ok
+        assert any("Claim 1" in violation for violation in report.violations)
+
+    def test_never_written_value_is_a_violation(self):
+        report = check([(1, "read", "ghost", 0.0, 1.0)])
+        assert not report.ok
+        assert any("never written" in violation for violation in report.violations)
+
+
+class TestClaim2OverwrittenValue:
+    def test_read_must_not_return_an_overwritten_value(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 1.0),
+                (0, "write", "v2", 2.0, 3.0),
+                (1, "read", "v1", 4.0, 5.0),
+            ]
+        )
+        assert not report.ok
+        assert any("Claim 2" in violation for violation in report.violations)
+
+    def test_stale_initial_value_after_completed_write(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 1.0),
+                (1, "read", "v0", 2.0, 3.0),
+            ]
+        )
+        assert not report.ok
+
+    def test_reader_must_see_its_own_process_preceding_write(self):
+        # The writer reads after its own completed write.
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 1.0),
+                (0, "read", "v0", 2.0, 3.0),
+            ]
+        )
+        assert not report.ok
+
+
+class TestClaim3NewOldInversion:
+    def test_new_old_inversion_detected(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 10.0),
+                (1, "read", "v1", 1.0, 2.0),
+                (2, "read", "v0", 3.0, 4.0),
+            ]
+        )
+        assert not report.ok
+        assert any("Claim 3" in violation for violation in report.violations)
+
+    def test_same_value_in_sequence_is_fine(self):
+        assert check(
+            [
+                (0, "write", "v1", 0.0, 10.0),
+                (1, "read", "v1", 1.0, 2.0),
+                (2, "read", "v1", 3.0, 4.0),
+            ]
+        ).ok
+
+
+class TestInputValidation:
+    def test_multiple_writers_rejected(self):
+        with pytest.raises(ValueError, match="writers"):
+            check([(0, "write", "a", 0.0, 1.0), (1, "write", "b", 2.0, 3.0)])
+
+    def test_duplicate_written_values_rejected(self):
+        with pytest.raises(ValueError, match="not unique"):
+            check([(0, "write", "dup", 0.0, 1.0), (0, "write", "dup", 2.0, 3.0)])
+
+    def test_raise_on_violation_mode(self):
+        with pytest.raises(AtomicityViolation, match="Claim 2"):
+            check(
+                [
+                    (0, "write", "v1", 0.0, 1.0),
+                    (1, "read", "v0", 2.0, 3.0),
+                ],
+                raise_on_violation=True,
+            )
+
+    def test_report_lists_every_violation(self):
+        report = check(
+            [
+                (0, "write", "v1", 0.0, 1.0),
+                (1, "read", "v0", 2.0, 3.0),
+                (2, "read", "ghost", 4.0, 5.0),
+            ]
+        )
+        assert len(report.violations) == 2
