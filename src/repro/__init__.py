@@ -6,6 +6,7 @@ of a crash-prone asynchronous message-passing system:
 
 * the paper's two-bit-message SWMR atomic register (:mod:`repro.core`);
 * the ABD baseline family it is compared against (:mod:`repro.registers`);
+* a sharded multi-key store composing many registers (:mod:`repro.store`);
 * atomicity / linearizability verification (:mod:`repro.verification`);
 * workload generation and execution (:mod:`repro.workloads`);
 * the Table-1 measurement harness (:mod:`repro.analysis`).
@@ -22,22 +23,28 @@ See README.md for the full tour and DESIGN.md for the architecture.
 """
 
 from repro.api import (
+    KVStore,
     RegisterCluster,
+    StoreConfig,
     available_algorithms,
     build_table1,
     create_register,
+    create_store,
     run_workload,
 )
 from repro.workloads.spec import WorkloadSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "KVStore",
     "RegisterCluster",
+    "StoreConfig",
     "WorkloadSpec",
     "available_algorithms",
     "build_table1",
     "create_register",
+    "create_store",
     "run_workload",
     "__version__",
 ]

@@ -1,9 +1,12 @@
 """High-level public API.
 
-Three entry points cover the common uses:
+Four entry points cover the common uses:
 
 * :func:`create_register` — "give me a simulated ``n``-process register I can
   read and write from Python" (returns a :class:`RegisterCluster`);
+* :func:`create_store` (re-exported from :mod:`repro.store`) — a sharded
+  multi-key store composing one register per key behind a ``get``/``put``
+  facade, with batched submission (returns a :class:`KVStore`);
 * :func:`run_workload` (re-exported from :mod:`repro.workloads.runner`) —
   execute a declarative workload and get back a history plus metrics;
 * :func:`build_table1` (re-exported from :mod:`repro.analysis.table1`) —
@@ -27,17 +30,21 @@ from repro.sim.failures import CrashSchedule, FailureInjector
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
+from repro.store.store import KVStore, StoreConfig, create_store
 from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
+    "KVStore",
     "RegisterCluster",
+    "StoreConfig",
     "Table1",
     "WorkloadResult",
     "WorkloadSpec",
     "available_algorithms",
     "build_table1",
     "create_register",
+    "create_store",
     "run_workload",
 ]
 

@@ -11,6 +11,10 @@ report without writing Python:
     python -m repro.cli run --algorithm two-bit --n 5 --writes 10 --reads 10
     python -m repro.cli compare --n 7 --reads 40 --writes 4
     python -m repro.cli bits --writes 200           # control-bit growth curves
+    python -m repro.cli store --keys 32 --ops 500 --dist zipfian --shards 4
+
+(With the package installed — ``pip install -e .`` — the same commands are
+available as plain ``repro <subcommand>`` via the console-script entry point.)
 
 Every sub-command prints plain text (the same tables the benchmarks print)
 and exits non-zero if a correctness check fails, so the CLI can be used as a
@@ -225,6 +229,96 @@ def cmd_messages(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Run a keyed workload against the sharded multi-key store."""
+    from repro.sim.rng import make_rng
+    from repro.workloads.kv import CrashPoint, run_kv_workload
+    from repro.workloads.scenarios import kv_uniform, kv_zipfian
+
+    builder = kv_zipfian if args.dist == "zipfian" else kv_uniform
+    try:
+        spec = builder(
+            num_keys=args.keys,
+            num_ops=args.ops,
+            read_fraction=args.read_fraction,
+            algorithm=args.algorithm,
+            num_shards=args.shards,
+            replication=args.replication,
+            batch_size=args.batch,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"invalid store parameters: {exc}", file=sys.stderr)
+        return 2
+    if args.crashes < 0:
+        print(f"--crashes must be non-negative, got {args.crashes}", file=sys.stderr)
+        return 2
+    if args.crashes:
+        budget = (args.replication - 1) // 2
+        if budget < 1:
+            print(
+                f"--crashes requires replication >= 3 (replication {args.replication} "
+                "tolerates no crashes)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.crashes > args.shards:
+            print(
+                f"--crashes {args.crashes} exceeds the number of shards ({args.shards}); "
+                "each crash takes down one non-writer replica of a distinct shard",
+                file=sys.stderr,
+            )
+            return 2
+        rng = make_rng(args.seed, "store-cli-crashes", args.shards, args.crashes)
+        shards = sorted(rng.sample(range(args.shards), args.crashes))
+        # Crash early in the run: batched driving finishes a few hundred ops
+        # within a handful of virtual-time units, so a wide window would let
+        # crashes silently land after the run already completed.
+        spec = spec.with_(
+            crash_points=tuple(
+                CrashPoint(at_time=round(rng.uniform(1.0, 4.0), 3), shard=shard, replica=1)
+                for shard in shards
+            )
+        )
+    try:
+        result = run_kv_workload(spec)
+    except ValueError as exc:
+        print(f"invalid store parameters: {exc}", file=sys.stderr)
+        return 2
+    crashes_fired = sum(len(shard.crashed_replicas) for shard in result.store.shards)
+    report = result.check_atomicity(raise_on_violation=False)
+    completed = result.completed_ops()
+    reads = sum(1 for op in completed if op.kind is OperationKind.READ)
+    rows = [
+        ["keys / shards / replication", f"{args.keys} / {args.shards} / {args.replication}"],
+        ["operations completed", f"{len(completed)} ({reads} reads)"],
+        ["operations failed", len(result.failed_ops())],
+        ["server crashes fired", f"{crashes_fired} of {args.crashes} requested"],
+        ["batches driven", result.batches],
+        ["total messages", result.total_messages()],
+        ["virtual makespan", round(result.virtual_makespan, 2)],
+        ["ops per virtual time unit", round(result.virtual_throughput(), 3)],
+        ["mean op latency (virtual)", round(result.mean_latency(), 3)],
+        ["per-key atomic", f"yes ({report.keys_checked} keys)" if report.ok else "NO"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"store: {args.algorithm}, {args.ops} ops, {args.dist} keys"
+                + (f", {args.crashes} crash(es)" if args.crashes else "")
+            ),
+        )
+    )
+    if not report.ok:
+        print("\nper-key atomicity violations:", file=sys.stderr)
+        for violation in report.violations():
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -261,6 +355,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--n", type=int, default=5)
     sub.add_argument("--seed", type=int, default=0)
     sub.set_defaults(handler=cmd_messages)
+
+    sub = subparsers.add_parser(
+        "store", help="run a keyed workload against the sharded multi-key store"
+    )
+    sub.add_argument("--keys", type=int, default=16, help="number of distinct keys (default 16)")
+    sub.add_argument("--ops", type=int, default=400, help="total operations (default 400)")
+    sub.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.9,
+        dest="read_fraction",
+        help="fraction of operations that are gets (default 0.9)",
+    )
+    sub.add_argument(
+        "--dist",
+        choices=["uniform", "zipfian"],
+        default="uniform",
+        help="key popularity distribution (default uniform)",
+    )
+    sub.add_argument(
+        "--algorithm",
+        default="abd",
+        choices=available_algorithms(),
+        help="per-key register algorithm (default abd)",
+    )
+    sub.add_argument("--shards", type=int, default=4, help="number of shards (default 4)")
+    sub.add_argument(
+        "--replication", type=int, default=3, help="replicas per shard (default 3)"
+    )
+    sub.add_argument(
+        "--batch", type=int, default=64, help="operations per drive() batch (default 64)"
+    )
+    sub.add_argument(
+        "--crashes",
+        type=int,
+        default=0,
+        help="crash one non-writer replica of this many distinct shards mid-run",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    sub.set_defaults(handler=cmd_store)
 
     return parser
 

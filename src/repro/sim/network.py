@@ -286,3 +286,34 @@ class Network:
     def quiescent(self) -> bool:
         """True when no messages are in flight."""
         return self.in_flight_total() == 0
+
+
+class Subnet(Network):
+    """A membership-scoped network sharing a parent's clock and accounting.
+
+    Several independent register deployments can run side by side in one
+    simulation: each deployment lives on its own :class:`Subnet`, so
+    membership queries (``process_ids``, broadcasts, quorum sizes) stay local
+    to the deployment, while every delivery is an event on the *parent's*
+    simulator and every send is recorded in the *parent's*
+    :class:`NetworkStats`.  Operations on different subnets therefore
+    interleave on one virtual clock and produce one aggregate message bill —
+    this is how :mod:`repro.store` composes many per-key registers into a
+    sharded multi-key store.
+
+    Process ids are scoped to the subnet: two subnets may both host a ``p0``
+    without colliding.  Messages never cross subnet boundaries (a register
+    protocol only ever addresses its own membership).
+    """
+
+    def __init__(self, parent: Network, name: str = "") -> None:
+        super().__init__(
+            parent.simulator,
+            delay_model=parent.delay_model,
+            record_messages=parent.record_messages,
+        )
+        self.parent = parent
+        self.name = name
+        # Share the parent's aggregate accounting so the whole deployment has
+        # a single message/bit bill (what the store benchmarks report).
+        self.stats = parent.stats

@@ -1,0 +1,41 @@
+"""Sharded multi-key register store.
+
+The paper's algorithm implements one atomic register; this package scales
+that building block out to a keyed store:
+
+* :mod:`repro.store.shardmap` — deterministic hash-based key → shard-group
+  placement (:class:`ShardMap`);
+* :mod:`repro.store.store` — the :class:`KVStore` facade composing one
+  register deployment per key (any algorithm from the registry) on a single
+  shared simulator, with a batched asynchronous client driver and per-key
+  atomicity checking.
+
+Keyed workloads for the store live in :mod:`repro.workloads.kv`
+(``kv_uniform`` / ``kv_zipfian`` scenarios), the CLI exposes it as
+``repro store ...``, and ``benchmarks/bench_store_throughput.py`` measures
+the batched driver against per-operation driving.
+"""
+
+from repro.store.shardmap import Placement, ShardMap, stable_key_hash
+from repro.store.store import (
+    KVStore,
+    KeyRegister,
+    StoreAtomicityReport,
+    StoreConfig,
+    StoreOp,
+    StoreShard,
+    create_store,
+)
+
+__all__ = [
+    "KVStore",
+    "KeyRegister",
+    "Placement",
+    "ShardMap",
+    "StoreAtomicityReport",
+    "StoreConfig",
+    "StoreOp",
+    "StoreShard",
+    "create_store",
+    "stable_key_hash",
+]

@@ -1,0 +1,541 @@
+"""Sharded multi-key register store: many registers, one simulation.
+
+The paper implements a *single* atomic register; a real keyed store serves
+millions of independent keys.  This module composes many register instances
+(any algorithm from :mod:`repro.registers.registry`) behind one
+:class:`KVStore` facade:
+
+* each key gets its own register deployment — ``replication`` processes on a
+  private :class:`~repro.sim.network.Subnet` — created lazily on first use;
+* a :class:`~repro.store.shardmap.ShardMap` places keys on shard groups;
+  keys of a shard share a crash domain (:meth:`KVStore.crash_server`) but
+  nothing else;
+* all deployments share a single :class:`~repro.sim.scheduler.Simulator` and
+  aggregate :class:`~repro.sim.network.NetworkStats`, so operations on
+  different keys interleave realistically on one virtual clock and produce
+  one message bill.
+
+Two driving styles, same API:
+
+* **blocking** — :meth:`KVStore.put` / :meth:`KVStore.get` issue one
+  operation and run the event loop until it completes (the classic
+  :class:`~repro.registers.base.RegisterHandle` pattern, one ``run_until``
+  per operation);
+* **batched** — :meth:`KVStore.submit_put` / :meth:`KVStore.submit_get`
+  enqueue any number of concurrent operations and one :meth:`KVStore.drive`
+  call runs the loop until *all* of them complete.  Operations on different
+  keys overlap in virtual time, so a batch of B independent operations
+  finishes in roughly one operation's latency instead of B of them —
+  ``benchmarks/bench_store_throughput.py`` measures the difference.
+
+Per-key atomicity is checked with the same fast checker the single-register
+harness uses: each key's operations form an independent SWMR history
+(:meth:`KVStore.check_atomicity`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
+from repro.registers.registry import get_algorithm
+from repro.sim.delays import DelayModel
+from repro.sim.network import Network, Subnet
+from repro.sim.process import ProcessCrashedError
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import Tracer
+from repro.store.shardmap import Placement, ShardMap
+from repro.verification.history import History
+from repro.verification.register_checker import (
+    AtomicityReport,
+    AtomicityViolation,
+    check_swmr_atomicity,
+)
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Everything needed to build (and rebuild, identically) a :class:`KVStore`.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the per-key register algorithm (``"two-bit"``,
+        ``"abd"``, ``"abd-mwmr"``, ...).
+    num_shards / replication / placement_salt:
+        The :class:`~repro.store.shardmap.ShardMap` geometry.
+    delay_model:
+        Message-delay model shared by every subnet (``None`` = fixed 1.0).
+        The store calls :meth:`~repro.sim.delays.DelayModel.fresh` so reusing
+        one config reproduces the same delays.
+    initial_value:
+        Initial value of every key's register (must be hashable and distinct
+        from written values for the fast checker).
+    max_virtual_time:
+        Per-:meth:`KVStore.drive` virtual-time budget before the store stops
+        waiting for stragglers.
+    trace:
+        Enable the structured event tracer (diagnostics only).
+    """
+
+    algorithm: str = "abd"
+    num_shards: int = 4
+    replication: int = 3
+    placement_salt: int = 0
+    delay_model: Optional[DelayModel] = None
+    initial_value: Any = "v0"
+    max_virtual_time: float = 100_000.0
+    trace: bool = False
+
+    def shard_map(self) -> ShardMap:
+        """The (validated) placement this config describes."""
+        return ShardMap(
+            num_shards=self.num_shards,
+            replication=self.replication,
+            salt=self.placement_salt,
+        )
+
+    def with_(self, **changes: object) -> "StoreConfig":
+        """Copy with fields replaced (sugar over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class StoreOp:
+    """A submitted store operation — a future the batch driver completes.
+
+    ``record`` is the underlying register-level
+    :class:`~repro.registers.base.OperationRecord` once the operation has
+    been issued to a process; until then the operation is queued behind
+    earlier operations targeting the same (sequential) process.
+    """
+
+    op_id: int
+    key: Any
+    kind: OperationKind
+    value: Any = None
+    record: Optional[OperationRecord] = None
+    failed: bool = False
+    failure_reason: str = ""
+
+    @property
+    def completed(self) -> bool:
+        """True when the operation finished successfully."""
+        return not self.failed and self.record is not None and self.record.completed
+
+    @property
+    def done(self) -> bool:
+        """True when the operation finished (successfully or not)."""
+        return self.failed or self.completed
+
+    @property
+    def result(self) -> Any:
+        """The value read (reads) or written (writes); raises if not completed."""
+        if not self.completed:
+            raise RuntimeError(
+                f"{self.kind.value}({self.key!r}) has not completed"
+                + (f" (failed: {self.failure_reason})" if self.failed else "")
+            )
+        if self.kind is OperationKind.READ:
+            return self.record.result
+        return self.value
+
+
+@dataclass
+class KeyRegister:
+    """One key's register deployment: a subnet plus its processes."""
+
+    key: Any
+    placement: Placement
+    subnet: Subnet
+    processes: List[RegisterProcess]
+    writer_index: int = 0
+    next_read_replica: int = 0  # round-robin cursor for read load-spreading
+
+
+@dataclass
+class StoreShard:
+    """Book-keeping for one shard group (a crash domain)."""
+
+    shard_id: int
+    replication: int
+    crashed_replicas: set[int] = field(default_factory=set)
+    registers: List[KeyRegister] = field(default_factory=list)
+
+    @property
+    def live_replicas(self) -> int:
+        return self.replication - len(self.crashed_replicas)
+
+
+@dataclass
+class StoreAtomicityReport:
+    """Per-key atomicity verdicts for a whole store run."""
+
+    per_key: Dict[Any, AtomicityReport] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every key's history is atomic."""
+        return all(report.ok for report in self.per_key.values())
+
+    @property
+    def keys_checked(self) -> int:
+        return len(self.per_key)
+
+    def violations(self) -> list[str]:
+        """All violations, each prefixed with the offending key."""
+        messages: list[str] = []
+        for key in sorted(self.per_key, key=repr):
+            for violation in self.per_key[key].violations:
+                messages.append(f"[{key!r}] {violation}")
+        return messages
+
+
+class KVStore:
+    """Sharded multi-key atomic register store (the facade).
+
+    >>> store = KVStore(StoreConfig(algorithm="abd", num_shards=4))
+    >>> _ = store.put("user:7", "alice")     # blocking: drives the event loop
+    >>> store.get("user:7")
+    'alice'
+    >>> ops = [store.submit_get("user:7"), store.submit_put("cart:7", "empty")]
+    >>> _ = store.drive()                    # one event-loop run for the batch
+    >>> ops[0].result
+    'alice'
+
+    Every key is an independent SWMR register: puts go to replica 0 of the
+    key's shard (the writer), gets round-robin over live replicas.  The store
+    records every operation so :meth:`check_atomicity` can verify each key's
+    history after the fact.
+    """
+
+    def __init__(self, config: Optional[StoreConfig] = None, **overrides: object) -> None:
+        if config is None:
+            config = StoreConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            config = config.with_(**overrides)
+        self.config = config
+        self.shard_map = config.shard_map()  # validates the geometry
+        get_algorithm(config.algorithm)  # fail fast on unknown names
+        self.simulator = Simulator(tracer=Tracer(enabled=config.trace))
+        delay = config.delay_model.fresh() if config.delay_model is not None else None
+        # The root network hosts no processes itself; it provides the shared
+        # clock, delay model and aggregate stats that every subnet taps into.
+        self.network = Network(self.simulator, delay_model=delay)
+        self.shards = [
+            StoreShard(shard_id=shard, replication=config.replication)
+            for shard in range(config.num_shards)
+        ]
+        self.ops: List[StoreOp] = []
+        self._registers: Dict[Any, KeyRegister] = {}
+        self._op_counter = itertools.count()
+        self._queues: Dict[RegisterProcess, deque[StoreOp]] = {}
+        self._outstanding = 0
+
+    # ------------------------------------------------------------- placement
+
+    def placement(self, key: Any) -> Placement:
+        """Where ``key`` lives (computed, does not deploy the register)."""
+        return self.shard_map.placement(key)
+
+    def register_for(self, key: Any) -> KeyRegister:
+        """The key's register deployment, created lazily on first access."""
+        deployment = self._registers.get(key)
+        if deployment is None:
+            deployment = self._deploy(key)
+        return deployment
+
+    def _deploy(self, key: Any) -> KeyRegister:
+        placement = self.shard_map.placement(key)
+        shard = self.shards[placement.shard]
+        subnet = Subnet(self.network, name=f"shard{placement.shard}:{key!r}")
+        algorithm = get_algorithm(self.config.algorithm)
+        processes = algorithm.build(
+            self.simulator,
+            subnet,
+            self.config.replication,
+            writer_pid=0,
+            initial_value=self.config.initial_value,
+        )
+        deployment = KeyRegister(
+            key=key, placement=placement, subnet=subnet, processes=list(processes)
+        )
+        # A register deployed after a server crashed joins the crash domain
+        # in its current state: the corresponding replica is down from birth.
+        for replica in shard.crashed_replicas:
+            processes[replica].crash()
+        shard.registers.append(deployment)
+        self._registers[key] = deployment
+        return deployment
+
+    @property
+    def deployed_keys(self) -> list[Any]:
+        """Keys whose registers have been deployed, sorted by repr."""
+        return sorted(self._registers, key=repr)
+
+    # ------------------------------------------------------------ submission
+
+    def submit_put(self, key: Any, value: Any) -> StoreOp:
+        """Enqueue a write of ``value`` to ``key``; complete it via :meth:`drive`."""
+        deployment = self.register_for(key)
+        op = StoreOp(
+            op_id=next(self._op_counter), key=key, kind=OperationKind.WRITE, value=value
+        )
+        self.ops.append(op)
+        self._enqueue(deployment.processes[deployment.writer_index], op)
+        return op
+
+    def submit_get(self, key: Any, replica: Optional[int] = None) -> StoreOp:
+        """Enqueue a read of ``key``; complete it via :meth:`drive`.
+
+        Reads round-robin over the key's live replicas unless ``replica``
+        pins a specific one.
+        """
+        deployment = self.register_for(key)
+        if replica is None:
+            process = self._pick_reader(deployment)
+        else:
+            if not 0 <= replica < self.config.replication:
+                raise ValueError(
+                    f"replica {replica} out of range for replication "
+                    f"{self.config.replication}"
+                )
+            process = deployment.processes[replica]
+        op = StoreOp(op_id=next(self._op_counter), key=key, kind=OperationKind.READ)
+        self.ops.append(op)
+        self._enqueue(process, op)
+        return op
+
+    def _pick_reader(self, deployment: KeyRegister) -> RegisterProcess:
+        replication = self.config.replication
+        for offset in range(replication):
+            index = (deployment.next_read_replica + offset) % replication
+            if not deployment.processes[index].crashed:
+                deployment.next_read_replica = (index + 1) % replication
+                return deployment.processes[index]
+        # Unreachable under the minority crash budget; kept for robustness.
+        return deployment.processes[deployment.next_read_replica]
+
+    # ----------------------------------------------------------- the driver
+    #
+    # Each register process is sequential (it may have at most one of its own
+    # operations outstanding), so the driver keeps a FIFO queue per process:
+    # the head of a queue is in flight, the rest wait for its completion
+    # callback.  Queues on *different* processes proceed concurrently — that
+    # concurrency is the whole point of batching.
+
+    def _enqueue(self, process: RegisterProcess, op: StoreOp) -> None:
+        queue = self._queues.setdefault(process, deque())
+        queue.append(op)
+        self._outstanding += 1
+        if len(queue) == 1:
+            self._issue(process)
+
+    def _issue(self, process: RegisterProcess) -> None:
+        queue = self._queues[process]
+        while queue:
+            op = queue[0]
+            try:
+                if op.kind is OperationKind.WRITE:
+                    record = process.invoke_write(
+                        op.value, lambda record, p=process: self._on_complete(p, record)
+                    )
+                else:
+                    record = process.invoke_read(
+                        lambda record, p=process: self._on_complete(p, record)
+                    )
+            except ProcessCrashedError:
+                queue.popleft()
+                op.failed = True
+                op.failure_reason = f"replica p{process.pid} crashed before issuing"
+                self._outstanding -= 1
+                continue
+            if op.record is None:  # the callback may have fired synchronously
+                op.record = record
+            return
+
+    def _on_complete(self, process: RegisterProcess, record: OperationRecord) -> None:
+        queue = self._queues[process]
+        op = queue.popleft()
+        if op.record is None:
+            op.record = record
+        self._outstanding -= 1
+        if queue:
+            self._issue(process)
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted operations not yet completed (or failed)."""
+        return self._outstanding
+
+    def drive(self, limit: Optional[float] = None) -> bool:
+        """Run the shared event loop until every submitted operation is done.
+
+        This is the batched hot path: one ``run_until`` for the whole batch
+        instead of one per operation, so independent operations overlap in
+        virtual time.  Returns ``True`` when everything completed; ``False``
+        when the virtual-time ``limit`` passed first (operations stay
+        outstanding and a later ``drive`` may finish them) or the event queue
+        drained with operations stuck (they are marked failed — this happens
+        when a replica crashed mid-operation).
+        """
+        if limit is None:
+            limit = self.simulator.now + self.config.max_virtual_time
+        finished = self.simulator.run_until(lambda: self._outstanding == 0, limit=limit)
+        if not finished and self._outstanding and self.simulator.pending_events == 0:
+            self._fail_stuck()
+        return finished
+
+    def _fail_stuck(self) -> None:
+        for process, queue in self._queues.items():
+            while queue:
+                op = queue.popleft()
+                op.failed = True
+                op.failure_reason = (
+                    f"stalled on replica p{process.pid}"
+                    f" (crashed={process.crashed}); event queue drained"
+                )
+                self._outstanding -= 1
+
+    # ----------------------------------------------------- blocking facade
+
+    def put(self, key: Any, value: Any) -> StoreOp:
+        """Blocking write: submit, then drive the loop until it completes."""
+        op = self.submit_put(key, value)
+        self.drive()
+        if op.failed:
+            raise RuntimeError(f"put({key!r}) failed: {op.failure_reason}")
+        return op
+
+    def get(self, key: Any) -> Any:
+        """Blocking read: submit, then drive the loop; returns the value."""
+        op = self.submit_get(key)
+        self.drive()
+        if op.failed:
+            raise RuntimeError(f"get({key!r}) failed: {op.failure_reason}")
+        return op.result
+
+    def settle(self) -> None:
+        """Drain residual dissemination (forwarded messages, late acks)."""
+        self.simulator.drain()
+
+    # --------------------------------------------------------------- faults
+
+    def crash_server(self, shard_id: int, replica: int, allow_writer: bool = False) -> None:
+        """Crash virtual server ``replica`` of ``shard_id``.
+
+        Crashes replica ``replica`` of *every* register hosted on the shard,
+        now and in the future (registers deployed later are born with the
+        replica down).  Enforces the per-shard minority budget
+        ``(replication - 1) // 2``.  Replica 0 hosts every key's writer, so
+        crashing it halts all puts on the shard; require ``allow_writer=True``
+        to make that explicit.
+        """
+        if not 0 <= shard_id < self.config.num_shards:
+            raise ValueError(f"shard {shard_id} out of range for {self.config.num_shards} shards")
+        if not 0 <= replica < self.config.replication:
+            raise ValueError(
+                f"replica {replica} out of range for replication {self.config.replication}"
+            )
+        shard = self.shards[shard_id]
+        if replica in shard.crashed_replicas:
+            return
+        if replica == 0 and not allow_writer:
+            raise ValueError(
+                "replica 0 hosts every key's writer on this shard; crashing it "
+                "halts all puts — pass allow_writer=True to do it anyway"
+            )
+        budget = self.shard_map.max_faulty_per_shard
+        if len(shard.crashed_replicas) + 1 > budget:
+            raise ValueError(
+                f"crashing replica {replica} of shard {shard_id} would exceed the "
+                f"tolerated minority t = {budget} of replication = {self.config.replication}"
+            )
+        shard.crashed_replicas.add(replica)
+        for deployment in shard.registers:
+            deployment.processes[replica].crash()
+
+    def crash_server_at(
+        self, time: float, shard_id: int, replica: int, allow_writer: bool = False
+    ) -> None:
+        """Schedule :meth:`crash_server` at virtual ``time`` (for crash plans).
+
+        Times already in the past fire immediately (same clamping the
+        :class:`~repro.sim.failures.FailureInjector` applies).
+        """
+        self.simulator.schedule_at(
+            max(time, self.simulator.now),
+            lambda: self.crash_server(shard_id, replica, allow_writer=allow_writer),
+            label=f"crash shard{shard_id}/replica{replica}",
+        )
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def stats(self):
+        """Aggregate network statistics across every key's subnet."""
+        return self.network.stats
+
+    def total_messages(self) -> int:
+        """Messages sent across the whole store so far."""
+        return self.network.stats.messages_sent
+
+    def completed_ops(self) -> list[StoreOp]:
+        """Operations that completed successfully, in submission order."""
+        return [op for op in self.ops if op.completed]
+
+    def failed_ops(self) -> list[StoreOp]:
+        """Operations that failed (crashed replica, stalled batch, ...)."""
+        return [op for op in self.ops if op.failed]
+
+    def history(self, key: Any) -> History:
+        """The SWMR history of one key (completed and pending operations)."""
+        records = [op.record for op in self.ops if op.key == key and op.record is not None]
+        return History.from_records(records, initial_value=self.config.initial_value)
+
+    def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
+        """Check every key's history with the fast per-key SWMR checker."""
+        by_key: Dict[Any, list[OperationRecord]] = {}
+        for op in self.ops:
+            if op.record is not None:
+                by_key.setdefault(op.key, []).append(op.record)
+        report = StoreAtomicityReport()
+        for key, records in by_key.items():
+            history = History.from_records(records, initial_value=self.config.initial_value)
+            report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
+        if raise_on_violation and not report.ok:
+            violations = report.violations()
+            raise AtomicityViolation(
+                f"{len(violations)} per-key atomicity violation(s):\n  - "
+                + "\n  - ".join(violations)
+            )
+        return report
+
+
+def create_store(
+    num_shards: int = 4,
+    replication: int = 3,
+    algorithm: str = "abd",
+    delay_model: Optional[DelayModel] = None,
+    initial_value: Any = "v0",
+    placement_salt: int = 0,
+    trace: bool = False,
+) -> KVStore:
+    """Create a sharded multi-key store (the ``repro.create_store`` entry point).
+
+    Parameters mirror :class:`StoreConfig`; see :class:`KVStore` for usage.
+    """
+    return KVStore(
+        StoreConfig(
+            algorithm=algorithm,
+            num_shards=num_shards,
+            replication=replication,
+            placement_salt=placement_salt,
+            delay_model=delay_model,
+            initial_value=initial_value,
+            trace=trace,
+        )
+    )

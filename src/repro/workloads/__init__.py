@@ -12,18 +12,36 @@ model, crash schedule, seed).  The package provides:
   history + metrics into a :class:`WorkloadResult`;
 * :mod:`repro.workloads.scenarios` — canned scenarios used by examples,
   integration tests and the ablation benchmarks (read-dominated store,
-  crash storms, isolated-operation latency probes, ...).
+  crash storms, isolated-operation latency probes, keyed store mixes, ...);
+* :mod:`repro.workloads.kv` — keyed (multi-register) workloads driving the
+  sharded :class:`~repro.store.store.KVStore`: the declarative
+  :class:`KVWorkloadSpec` (uniform / Zipfian key popularity), the operation
+  generator, and :func:`run_kv_workload` with its batched submission loop.
 """
 
 from repro.workloads.generator import ClientScript, ScriptedOperation, generate_scripts
+from repro.workloads.kv import (
+    CrashPoint,
+    KVOp,
+    KVWorkloadResult,
+    KVWorkloadSpec,
+    generate_kv_operations,
+    run_kv_workload,
+)
 from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
     "ClientScript",
+    "CrashPoint",
+    "KVOp",
+    "KVWorkloadResult",
+    "KVWorkloadSpec",
     "ScriptedOperation",
     "WorkloadResult",
     "WorkloadSpec",
+    "generate_kv_operations",
     "generate_scripts",
+    "run_kv_workload",
     "run_workload",
 ]

@@ -1,0 +1,283 @@
+"""Keyed workloads for the sharded multi-key store.
+
+The single-register workloads (:mod:`repro.workloads.spec`) drive one
+register with a writer and readers; a *keyed* workload drives a
+:class:`~repro.store.store.KVStore` with a stream of ``get``/``put``
+operations over many keys.  The spec captures the key population, the
+operation mix, the access-skew distribution (uniform or Zipfian) and the
+store geometry, all derived from one seed — same spec, same run, event for
+event (the repository-wide determinism contract).
+
+Uniqueness of written values per key (``"k0003=v7"`` is write number 7 to key
+``k0003``) is guaranteed by construction, so the fast per-key SWMR checker
+can map every read back to the write it observed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Tuple
+
+from repro.registers.base import OperationKind
+from repro.sim.delays import DelayModel, FixedDelay
+from repro.sim.rng import make_rng
+from repro.store.store import KVStore, StoreAtomicityReport, StoreConfig, StoreOp
+
+#: Supported key-access distributions.
+DISTRIBUTIONS = ("uniform", "zipfian")
+
+
+@dataclass(frozen=True)
+class KVOp:
+    """One scripted store operation (before submission)."""
+
+    index: int
+    kind: OperationKind
+    key: str
+    value: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A scheduled server crash: replica ``replica`` of ``shard`` at ``at_time``."""
+
+    at_time: float
+    shard: int
+    replica: int
+    allow_writer: bool = False
+
+
+@dataclass(frozen=True)
+class KVWorkloadSpec:
+    """Parameters of one keyed store run.
+
+    Attributes
+    ----------
+    num_keys / num_ops:
+        Key population size and total operations issued.
+    read_fraction:
+        Probability each operation is a ``get`` (the rest are ``put``).
+    distribution / zipf_s:
+        Key-access skew: ``"uniform"``, or ``"zipfian"`` with exponent
+        ``zipf_s`` (hot-key ranks are a seeded permutation of the key space,
+        so hotness is decoupled from placement).
+    algorithm / num_shards / replication / placement_salt:
+        The store geometry (see :class:`~repro.store.store.StoreConfig`).
+    batch_size:
+        Operations submitted per :meth:`~repro.store.store.KVStore.drive`
+        call.  ``1`` reproduces the classic per-operation driving pattern;
+        larger batches overlap independent operations in virtual time.
+    delay_model:
+        Message-delay model (default ``FixedDelay(1.0)``).
+    crash_points:
+        Server crashes to schedule before the run starts.
+    seed:
+        Master seed for key choice, op mix and think randomness.
+    """
+
+    num_keys: int = 16
+    num_ops: int = 500
+    read_fraction: float = 0.8
+    distribution: str = "uniform"
+    zipf_s: float = 1.2
+    algorithm: str = "abd"
+    num_shards: int = 4
+    replication: int = 3
+    placement_salt: int = 0
+    batch_size: int = 64
+    delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
+    crash_points: Tuple[CrashPoint, ...] = ()
+    seed: int = 0
+    initial_value: Any = "v0"
+    max_virtual_time: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise ValueError("keyed workloads need at least one key")
+        if self.num_ops < 0:
+            raise ValueError("operation count must be non-negative")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"read_fraction must be in [0, 1], got {self.read_fraction}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; choose from {DISTRIBUTIONS}"
+            )
+        if self.zipf_s <= 0:
+            raise ValueError(f"zipf_s must be positive, got {self.zipf_s}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    # ------------------------------------------------------------ conveniences
+
+    def keys(self) -> list[str]:
+        """The key population (``k0000``, ``k0001``, ...)."""
+        width = max(4, len(str(self.num_keys - 1)))
+        return [f"k{index:0{width}d}" for index in range(self.num_keys)]
+
+    def store_config(self) -> StoreConfig:
+        """The :class:`StoreConfig` this spec deploys."""
+        return StoreConfig(
+            algorithm=self.algorithm,
+            num_shards=self.num_shards,
+            replication=self.replication,
+            placement_salt=self.placement_salt,
+            delay_model=self.delay_model,
+            initial_value=self.initial_value,
+            max_virtual_time=self.max_virtual_time,
+        )
+
+    def with_(self, **changes: object) -> "KVWorkloadSpec":
+        """Copy with fields replaced (sugar over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+
+# ------------------------------------------------------------------ generator
+
+
+def _zipfian_cum_weights(num_keys: int, s: float) -> list[float]:
+    """Cumulative (unnormalised) Zipf weights: weight(rank r) = 1 / r^s."""
+    total = 0.0
+    cumulative: list[float] = []
+    for rank in range(1, num_keys + 1):
+        total += 1.0 / (rank**s)
+        cumulative.append(total)
+    return cumulative
+
+
+def generate_kv_operations(spec: KVWorkloadSpec) -> List[KVOp]:
+    """Turn a spec into the concrete operation stream (seeded, reproducible)."""
+    rng = make_rng(
+        spec.seed,
+        "kv-workload",
+        spec.num_keys,
+        spec.num_ops,
+        spec.distribution,
+        spec.read_fraction,
+    )
+    keys = spec.keys()
+    # Hot-key ranks are a seeded permutation of the key space so that skew is
+    # not systematically correlated with key ids (and hence with placement).
+    ranked = list(keys)
+    rng.shuffle(ranked)
+    if spec.distribution == "zipfian":
+        cumulative = _zipfian_cum_weights(spec.num_keys, spec.zipf_s)
+        total = cumulative[-1]
+
+        def sample_key() -> str:
+            return ranked[bisect.bisect_left(cumulative, rng.random() * total)]
+
+    else:
+
+        def sample_key() -> str:
+            return ranked[rng.randrange(spec.num_keys)]
+
+    write_counters: dict[str, int] = {}
+    operations: List[KVOp] = []
+    for index in range(spec.num_ops):
+        key = sample_key()
+        if rng.random() < spec.read_fraction:
+            operations.append(KVOp(index=index, kind=OperationKind.READ, key=key))
+        else:
+            count = write_counters.get(key, 0) + 1
+            write_counters[key] = count
+            operations.append(
+                KVOp(
+                    index=index,
+                    kind=OperationKind.WRITE,
+                    key=key,
+                    value=f"{key}=v{count}",
+                )
+            )
+    return operations
+
+
+# -------------------------------------------------------------------- runner
+
+
+@dataclass
+class KVWorkloadResult:
+    """Everything a keyed store run produced."""
+
+    spec: KVWorkloadSpec
+    store: KVStore
+    ops: List[StoreOp]
+    wall_seconds: float
+    virtual_makespan: float
+    batches: int
+
+    def completed_ops(self) -> list[StoreOp]:
+        """Operations that completed successfully."""
+        return [op for op in self.ops if op.completed]
+
+    def failed_ops(self) -> list[StoreOp]:
+        """Operations that failed (crashed replica, stalled batch, ...)."""
+        return [op for op in self.ops if op.failed]
+
+    def total_messages(self) -> int:
+        """Messages sent across the whole store during the run."""
+        return self.store.total_messages()
+
+    def virtual_throughput(self) -> float:
+        """Completed operations per virtual-time unit."""
+        if self.virtual_makespan <= 0:
+            return float("inf") if self.completed_ops() else 0.0
+        return len(self.completed_ops()) / self.virtual_makespan
+
+    def wall_throughput(self) -> float:
+        """Completed operations per wall-clock second (hardware dependent)."""
+        if self.wall_seconds <= 0:
+            return float("inf") if self.completed_ops() else 0.0
+        return len(self.completed_ops()) / self.wall_seconds
+
+    def mean_latency(self) -> float:
+        """Mean virtual-time latency over completed operations."""
+        latencies = [
+            op.record.latency
+            for op in self.completed_ops()
+            if op.record is not None and op.record.latency is not None
+        ]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
+        """Per-key atomicity verdicts for the recorded run."""
+        return self.store.check_atomicity(raise_on_violation=raise_on_violation)
+
+
+def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
+    """Execute a keyed workload against a fresh store and collect the result.
+
+    Operations are submitted in batches of ``spec.batch_size`` and each batch
+    is completed with one :meth:`~repro.store.store.KVStore.drive` call, so
+    ``batch_size=1`` reproduces per-operation driving and larger batches
+    exercise the overlapped hot path.
+    """
+    store = KVStore(spec.store_config())
+    for point in spec.crash_points:
+        store.crash_server_at(
+            point.at_time, point.shard, point.replica, allow_writer=point.allow_writer
+        )
+    operations = generate_kv_operations(spec)
+    submitted: List[StoreOp] = []
+    batches = 0
+    started = time.perf_counter()
+    for begin in range(0, len(operations), spec.batch_size):
+        for scripted in operations[begin : begin + spec.batch_size]:
+            if scripted.kind is OperationKind.WRITE:
+                submitted.append(store.submit_put(scripted.key, scripted.value))
+            else:
+                submitted.append(store.submit_get(scripted.key))
+        store.drive()
+        batches += 1
+    wall_seconds = time.perf_counter() - started
+    return KVWorkloadResult(
+        spec=spec,
+        store=store,
+        ops=submitted,
+        wall_seconds=wall_seconds,
+        virtual_makespan=store.simulator.now,
+        batches=batches,
+    )

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.sim.delays import ExponentialDelay, FixedDelay, UniformDelay
 from repro.sim.failures import CrashSchedule, random_crash_schedule
+from repro.workloads.kv import KVWorkloadSpec
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -109,6 +110,68 @@ def crash_storm(
         crash_schedule=schedule,
         seed=seed,
         max_virtual_time=5_000.0,
+    )
+
+
+def kv_uniform(
+    num_keys: int = 16,
+    num_ops: int = 400,
+    read_fraction: float = 0.9,
+    algorithm: str = "abd",
+    num_shards: int = 4,
+    replication: int = 3,
+    batch_size: int = 64,
+    seed: int = 6,
+) -> KVWorkloadSpec:
+    """A keyed store workload with uniform key popularity.
+
+    Every key is equally likely; with the default hash placement the load is
+    balanced across shards.  This is the baseline the store benchmark and the
+    per-key atomicity tests run.
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def kv_zipfian(
+    num_keys: int = 64,
+    num_ops: int = 600,
+    read_fraction: float = 0.9,
+    zipf_s: float = 1.2,
+    algorithm: str = "abd",
+    num_shards: int = 4,
+    replication: int = 3,
+    batch_size: int = 64,
+    seed: int = 7,
+) -> KVWorkloadSpec:
+    """A keyed store workload with Zipfian (hot-key) popularity.
+
+    A few keys absorb most of the traffic — the realistic regime for caches
+    and social feeds, and the one where per-process sequencing on a hot key's
+    replicas limits batching gains (cross-key concurrency still wins).
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="zipfian",
+        zipf_s=zipf_s,
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
     )
 
 

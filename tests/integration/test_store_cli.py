@@ -1,0 +1,56 @@
+"""Integration tests for the ``repro store`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStoreCli:
+    def test_default_run_succeeds(self, capsys):
+        assert main(["store", "--ops", "80", "--keys", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "per-key atomic" in out
+        assert "yes" in out
+
+    def test_zipfian_with_crashes(self, capsys):
+        code = main(
+            [
+                "store",
+                "--ops",
+                "120",
+                "--keys",
+                "12",
+                "--dist",
+                "zipfian",
+                "--crashes",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 crash(es)" in out
+
+    def test_every_algorithm_backend(self):
+        for algorithm in ("two-bit", "abd", "abd-mwmr"):
+            assert main(["store", "--ops", "40", "--algorithm", algorithm]) == 0
+
+    def test_crashes_rejected_without_budget(self, capsys):
+        assert main(["store", "--ops", "10", "--replication", "2", "--crashes", "1"]) == 2
+        assert "replication" in capsys.readouterr().err
+
+    def test_more_crashes_than_shards_rejected(self, capsys):
+        assert main(["store", "--ops", "10", "--shards", "2", "--crashes", "3"]) == 2
+        assert "shards" in capsys.readouterr().err
+
+    def test_deterministic_output(self, capsys):
+        main(["store", "--ops", "60", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["store", "--ops", "60", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["store", "--algorithm", "bogus"])

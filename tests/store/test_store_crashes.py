@@ -1,0 +1,116 @@
+"""Store behaviour under server crashes: budgets, crash domains, liveness."""
+
+import pytest
+
+from repro.store import create_store
+from repro.workloads.kv import CrashPoint, run_kv_workload
+from repro.workloads.scenarios import kv_uniform
+
+
+class TestCrashBudget:
+    def test_minority_budget_enforced_per_shard(self):
+        store = create_store(num_shards=2, replication=3)
+        store.crash_server(0, 1)
+        with pytest.raises(ValueError, match="tolerated minority"):
+            store.crash_server(0, 2)
+        # The budget is per shard: shard 1 still has its own allowance.
+        store.crash_server(1, 2)
+
+    def test_replication_two_tolerates_no_crash(self):
+        store = create_store(num_shards=1, replication=2)
+        with pytest.raises(ValueError, match="tolerated minority"):
+            store.crash_server(0, 1)
+
+    def test_writer_replica_needs_explicit_opt_in(self):
+        store = create_store(num_shards=1, replication=3)
+        with pytest.raises(ValueError, match="writer"):
+            store.crash_server(0, 0)
+        store.crash_server(0, 0, allow_writer=True)
+
+    def test_out_of_range_arguments(self):
+        store = create_store(num_shards=2, replication=3)
+        with pytest.raises(ValueError, match="shard"):
+            store.crash_server(5, 1)
+        with pytest.raises(ValueError, match="replica"):
+            store.crash_server(0, 7)
+
+    def test_crash_is_idempotent(self):
+        store = create_store(num_shards=1, replication=3)
+        store.crash_server(0, 1)
+        store.crash_server(0, 1)  # no error, no extra budget consumed
+        assert store.shards[0].crashed_replicas == {1}
+
+
+class TestCrashDomain:
+    def test_crash_hits_every_register_on_the_shard(self):
+        store = create_store(num_shards=1, replication=3)
+        store.put("a", "1")
+        store.put("b", "2")
+        store.crash_server(0, 1)
+        for key in ("a", "b"):
+            assert store.register_for(key).processes[1].crashed
+
+    def test_registers_deployed_after_crash_are_born_degraded(self):
+        store = create_store(num_shards=1, replication=3)
+        store.crash_server(0, 2)
+        store.put("late-key", "x")
+        assert store.register_for("late-key").processes[2].crashed
+        assert store.get("late-key") == "x"
+
+    def test_store_keeps_serving_after_minority_crash(self):
+        store = create_store(num_shards=2, replication=5)
+        store.put("k", "before")
+        store.crash_server(store.placement("k").shard, 1)
+        store.crash_server(store.placement("k").shard, 3)
+        store.put("k", "after")
+        assert store.get("k") == "after"
+        store.check_atomicity()
+
+    def test_reads_avoid_crashed_replicas(self):
+        store = create_store(num_shards=1, replication=3)
+        store.put("k", "v1")
+        store.crash_server(0, 1)
+        for _ in range(4):
+            op = store.submit_get("k")
+            store.drive()
+            assert op.record.pid != 1
+
+
+class TestCrashSchedules:
+    def test_crash_plan_mid_workload_stays_atomic(self):
+        # Acceptance-style scenario: one non-writer replica of every shard
+        # dies mid-run; surviving majorities keep every key linearizable.
+        spec = kv_uniform(num_keys=16, num_ops=400, num_shards=4, replication=3, seed=11).with_(
+            crash_points=tuple(
+                CrashPoint(at_time=5.0 + shard, shard=shard, replica=1) for shard in range(4)
+            )
+        )
+        result = run_kv_workload(spec)
+        report = result.check_atomicity()
+        assert report.ok
+        # The overwhelming majority completes; only operations in flight on
+        # the crashed replicas may fail, and they fail loudly.
+        assert len(result.completed_ops()) >= 380
+        for op in result.failed_ops():
+            assert op.failure_reason
+
+    def test_in_flight_op_on_crashed_replica_fails_cleanly(self):
+        store = create_store(num_shards=1, replication=3)
+        store.put("k", "v1")
+        pinned = store.submit_get("k", replica=1)
+        store.crash_server_at(0.5, 0, 1)
+        store.drive()
+        assert pinned.failed
+        assert "p1" in pinned.failure_reason
+        # The store as a whole is unaffected.
+        assert store.get("k") == "v1"
+        store.check_atomicity()
+
+    def test_failed_ops_never_count_as_completed(self):
+        store = create_store(num_shards=1, replication=3)
+        store.crash_server(0, 1)
+        op = store.submit_get("k", replica=1)  # pinned to the dead replica
+        store.drive()
+        assert op.failed and not op.completed
+        assert op in store.failed_ops()
+        assert op not in store.completed_ops()

@@ -1,0 +1,137 @@
+"""Keyed workload generation: specs, distributions, determinism, scenarios."""
+
+import pytest
+
+from repro.registers.base import OperationKind
+from repro.workloads.kv import (
+    CrashPoint,
+    KVWorkloadSpec,
+    generate_kv_operations,
+    run_kv_workload,
+)
+from repro.workloads.scenarios import kv_uniform, kv_zipfian
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = KVWorkloadSpec()
+        assert spec.num_keys >= 1
+        assert spec.store_config().num_shards == spec.num_shards
+
+    @pytest.mark.parametrize(
+        "changes, match",
+        [
+            (dict(num_keys=0), "at least one key"),
+            (dict(num_ops=-1), "non-negative"),
+            (dict(read_fraction=1.5), "read_fraction"),
+            (dict(distribution="pareto"), "unknown distribution"),
+            (dict(zipf_s=0.0), "zipf_s"),
+            (dict(batch_size=0), "batch_size"),
+        ],
+    )
+    def test_rejects_bad_parameters(self, changes, match):
+        with pytest.raises(ValueError, match=match):
+            KVWorkloadSpec(**changes)
+
+    def test_with_copies(self):
+        spec = KVWorkloadSpec(num_ops=100)
+        changed = spec.with_(batch_size=1)
+        assert changed.batch_size == 1
+        assert spec.batch_size != 1 or spec.batch_size == changed.batch_size
+        assert changed.num_ops == 100
+
+    def test_keys_are_stable_and_padded(self):
+        spec = KVWorkloadSpec(num_keys=3)
+        assert spec.keys() == ["k0000", "k0001", "k0002"]
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = KVWorkloadSpec(num_keys=10, num_ops=200, seed=5)
+        assert generate_kv_operations(spec) == generate_kv_operations(spec)
+
+    def test_different_seed_different_stream(self):
+        base = KVWorkloadSpec(num_keys=10, num_ops=200, seed=5)
+        other = base.with_(seed=6)
+        assert generate_kv_operations(base) != generate_kv_operations(other)
+
+    def test_read_fraction_respected(self):
+        spec = KVWorkloadSpec(num_keys=8, num_ops=1000, read_fraction=0.75, seed=1)
+        operations = generate_kv_operations(spec)
+        reads = sum(1 for op in operations if op.kind is OperationKind.READ)
+        assert 0.65 < reads / len(operations) < 0.85
+
+    def test_written_values_unique_per_key(self):
+        spec = KVWorkloadSpec(num_keys=4, num_ops=400, read_fraction=0.2, seed=2)
+        seen: dict[str, set] = {}
+        for op in generate_kv_operations(spec):
+            if op.kind is OperationKind.WRITE:
+                values = seen.setdefault(op.key, set())
+                assert op.value not in values
+                assert op.value != spec.initial_value
+                values.add(op.value)
+
+    def test_all_keys_in_population(self):
+        spec = KVWorkloadSpec(num_keys=6, num_ops=300, seed=3)
+        keys = set(spec.keys())
+        for op in generate_kv_operations(spec):
+            assert op.key in keys
+
+    def test_zipfian_is_skewed(self):
+        uniform = KVWorkloadSpec(num_keys=50, num_ops=2000, distribution="uniform", seed=4)
+        zipfian = uniform.with_(distribution="zipfian", zipf_s=1.3)
+
+        def top_share(spec):
+            counts: dict[str, int] = {}
+            for op in generate_kv_operations(spec):
+                counts[op.key] = counts.get(op.key, 0) + 1
+            return max(counts.values()) / sum(counts.values())
+
+        assert top_share(zipfian) > 2 * top_share(uniform)
+
+    def test_zero_ops(self):
+        assert generate_kv_operations(KVWorkloadSpec(num_ops=0)) == []
+
+
+class TestScenarios:
+    def test_kv_uniform_builds_valid_spec(self):
+        spec = kv_uniform(num_keys=8, num_ops=50)
+        assert spec.distribution == "uniform"
+        assert spec.num_shards == 4
+
+    def test_kv_zipfian_builds_valid_spec(self):
+        spec = kv_zipfian(num_keys=8, num_ops=50)
+        assert spec.distribution == "zipfian"
+        assert spec.zipf_s > 0
+
+    def test_scenarios_run_end_to_end(self):
+        for spec in (kv_uniform(num_keys=6, num_ops=60), kv_zipfian(num_keys=6, num_ops=60)):
+            result = run_kv_workload(spec)
+            assert len(result.completed_ops()) == 60
+            assert result.check_atomicity().ok
+
+
+class TestRunner:
+    def test_batch_accounting(self):
+        result = run_kv_workload(KVWorkloadSpec(num_ops=100, batch_size=30, seed=8))
+        assert result.batches == 4  # 30 + 30 + 30 + 10
+        assert len(result.ops) == 100
+
+    def test_batch_size_one_matches_per_op_pattern(self):
+        result = run_kv_workload(KVWorkloadSpec(num_ops=40, batch_size=1, seed=9))
+        assert result.batches == 40
+        assert result.check_atomicity().ok
+
+    def test_throughput_metrics_positive(self):
+        result = run_kv_workload(KVWorkloadSpec(num_ops=80, seed=10))
+        assert result.virtual_throughput() > 0
+        assert result.mean_latency() > 0
+        assert result.total_messages() > 0
+
+    def test_crash_points_applied(self):
+        spec = KVWorkloadSpec(num_ops=120, num_shards=2, replication=3, seed=12).with_(
+            crash_points=(CrashPoint(at_time=2.0, shard=0, replica=2),)
+        )
+        result = run_kv_workload(spec)
+        assert 2 in result.store.shards[0].crashed_replicas
+        assert result.check_atomicity().ok
