@@ -15,11 +15,13 @@ driving by roughly the batch size on makespan (bounded by per-key contention:
 operations on one key's replicas still serialise), with wall-clock parity or
 better (the event count is identical; only the driving overhead differs).
 
-Run directly (``python benchmarks/bench_store_throughput.py``) or via the
-benchmark harness.
+Run directly (``python benchmarks/bench_store_throughput.py``, or with
+``--quick`` for the CI smoke variant) or via the benchmark harness.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.workloads.kv import KVWorkloadResult, run_kv_workload
 from repro.workloads.scenarios import kv_uniform, kv_zipfian
@@ -106,7 +108,20 @@ def test_batch_size_sweep():
     assert all(later <= earlier * 1.05 for earlier, later in zip(makespans, makespans[1:]))
 
 
+def quick_smoke() -> None:
+    """CI smoke mode: one small batched-vs-per-op comparison, crash = failure."""
+    spec = kv_uniform(num_keys=8, num_ops=60, seed=19)
+    batched, per_op = compare(spec, "Store throughput — quick smoke, 60 ops")
+    batched.check_atomicity()
+    per_op.check_atomicity()
+    assert len(batched.completed_ops()) == len(per_op.completed_ops()) == 60
+    assert batched.virtual_makespan < per_op.virtual_makespan
+
+
 if __name__ == "__main__":
-    test_batched_beats_per_op_uniform()
-    test_batched_beats_per_op_zipfian()
-    test_batch_size_sweep()
+    if "--quick" in sys.argv[1:]:
+        quick_smoke()
+    else:
+        test_batched_beats_per_op_uniform()
+        test_batched_beats_per_op_zipfian()
+        test_batch_size_sweep()

@@ -35,6 +35,51 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     return "\n".join(lines)
 
 
+def format_metrics(snapshot: dict, title: str = "driver metrics") -> str:
+    """Render a :class:`~repro.exec.metrics.MetricsCollector` snapshot as a table.
+
+    One row per operation kind with latency percentiles, plus summary rows
+    for throughput and the message bill.
+    """
+    rows: list[list[object]] = []
+    for kind in ("read", "write", "all"):
+        summary = snapshot.get("latency", {}).get(kind)
+        if summary is None:
+            continue
+        rows.append(
+            [
+                kind,
+                summary["count"],
+                format_number(summary["mean"], 3),
+                format_number(summary["p50"], 3),
+                format_number(summary["p95"], 3),
+                format_number(summary["p99"], 3),
+                format_number(summary["max"], 3),
+            ]
+        )
+    table = format_table(
+        ["kind", "ops", "mean", "p50", "p95", "p99", "max"], rows, title=title
+    )
+    lines = [table]
+    lines.append(
+        f"completed {snapshot.get('completed', 0)} / issued {snapshot.get('issued', 0)}"
+        f" (failed {snapshot.get('failed', 0)});"
+        f" virtual throughput {format_number(snapshot.get('virtual_throughput', 0.0), 3)} ops/time-unit"
+    )
+    messages = snapshot.get("messages", {})
+    if messages:
+        per_op = messages.get("per_completed_op")
+        lines.append(
+            f"messages: {messages.get('total', 0)} total"
+            + (f", {format_number(per_op, 2)} per completed op" if per_op is not None else "")
+        )
+        by_type = messages.get("by_type") or {}
+        if by_type:
+            mix = ", ".join(f"{name}={count}" for name, count in sorted(by_type.items()))
+            lines.append(f"message mix: {mix}")
+    return "\n".join(lines)
+
+
 def format_number(value: float, digits: int = 2) -> str:
     """Format a measured number compactly (integers without a decimal point)."""
     if value is None:

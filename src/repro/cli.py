@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.bits import control_bits_growth
 from repro.analysis.memory import memory_growth
-from repro.analysis.report import format_table
+from repro.analysis.report import format_metrics, format_table
 from repro.analysis.table1 import build_table1
 from repro.registers.base import OperationKind
 from repro.registers.registry import available_algorithms
@@ -247,6 +247,10 @@ def cmd_store(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             seed=args.seed,
         )
+        if args.arrival != "closed":
+            # Open-loop driving: the same key/op stream, arriving at seeded
+            # times with mean rate --rate instead of batched submission.
+            spec = spec.with_(arrival=args.arrival, arrival_rate=args.rate)
     except ValueError as exc:
         print(f"invalid store parameters: {exc}", file=sys.stderr)
         return 2
@@ -301,21 +305,144 @@ def cmd_store(args: argparse.Namespace) -> int:
         ["mean op latency (virtual)", round(result.mean_latency(), 3)],
         ["per-key atomic", f"yes ({report.keys_checked} keys)" if report.ok else "NO"],
     ]
+    if not result.finished_cleanly:
+        rows.insert(3, ["finished cleanly", "NO (virtual-time budget truncated the run)"])
+    if spec.open_loop:
+        rows.insert(4, ["offered load (ops/time-unit)", args.rate])
     print(
         format_table(
             ["metric", "value"],
             rows,
             title=(
                 f"store: {args.algorithm}, {args.ops} ops, {args.dist} keys"
+                + (f", {args.arrival} arrivals @ {args.rate}" if spec.open_loop else "")
                 + (f", {args.crashes} crash(es)" if args.crashes else "")
             ),
         )
     )
+    print()
+    print(format_metrics(result.metrics, title="operation latency (virtual time)"))
     if not report.ok:
         print("\nper-key atomicity violations:", file=sys.stderr)
         for violation in report.violations():
             print(f"  - {violation}", file=sys.stderr)
         return 1
+    if not result.finished_cleanly:
+        print(
+            "\nrun truncated: the virtual-time budget expired with operations "
+            "unsubmitted or pending (raise --ops horizon via the spec's "
+            "max_virtual_time, or the offered --rate)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf suite and emit ``BENCH_*.json`` baselines.
+
+    Two payloads: ``BENCH_store_throughput.json`` (batched vs per-operation
+    driving on the same keyed workload) and ``BENCH_openloop.json``
+    (throughput and latency percentiles vs offered load).  ``--quick`` keeps
+    CI smoke runs short.
+    """
+    import json
+    import pathlib
+    import platform
+
+    from repro.workloads.kv import run_kv_workload
+    from repro.workloads.scenarios import kv_openloop, kv_uniform
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if args.quick else "full"
+    num_ops = 120 if args.quick else 400
+    num_keys = 16 if args.quick else 32
+
+    # --- batched vs per-operation driving -------------------------------
+    spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=19)
+    batched = run_kv_workload(spec.with_(batch_size=64))
+    per_op = run_kv_workload(spec.with_(batch_size=1))
+    batched.check_atomicity()
+    per_op.check_atomicity()
+
+    def _throughput_entry(result) -> dict:
+        return {
+            "completed": len(result.completed_ops()),
+            "virtual_makespan": round(result.virtual_makespan, 3),
+            "virtual_throughput": round(result.virtual_throughput(), 3),
+            "wall_seconds": round(result.wall_seconds, 4),
+            "messages": result.total_messages(),
+            "latency": result.metrics["latency"]["all"],
+        }
+
+    store_payload = {
+        "benchmark": "store_throughput_batched_vs_per_op",
+        "mode": mode,
+        "num_keys": num_keys,
+        "num_ops": num_ops,
+        "batched": _throughput_entry(batched),
+        "per_op": _throughput_entry(per_op),
+        "makespan_speedup": round(
+            per_op.virtual_makespan / max(batched.virtual_makespan, 1e-9), 2
+        ),
+        "python": platform.python_version(),
+    }
+    store_path = out_dir / "BENCH_store_throughput.json"
+    store_path.write_text(json.dumps(store_payload, indent=1) + "\n")
+    print(
+        format_table(
+            ["driving", "ops", "virtual makespan", "ops / virtual time"],
+            [
+                ["batched (64)", len(batched.completed_ops()), round(batched.virtual_makespan, 1), round(batched.virtual_throughput(), 2)],
+                ["per-op (1)", len(per_op.completed_ops()), round(per_op.virtual_makespan, 1), round(per_op.virtual_throughput(), 2)],
+            ],
+            title=f"store throughput ({mode}) -> {store_path}",
+        )
+    )
+
+    # --- open-loop: throughput vs offered load --------------------------
+    rates = (2.0, 8.0) if args.quick else (2.0, 4.0, 8.0, 16.0)
+    sweep = []
+    rows = []
+    for rate in rates:
+        result = run_kv_workload(
+            kv_openloop(num_keys=num_keys, num_ops=num_ops, arrival_rate=rate, seed=8)
+        )
+        result.check_atomicity()
+        latency = result.metrics["latency"]["all"]
+        sweep.append(
+            {
+                "offered_load": rate,
+                "completed": len(result.completed_ops()),
+                "virtual_throughput": round(result.virtual_throughput(), 3),
+                "p50": round(latency["p50"], 3) if latency else None,
+                "p99": round(latency["p99"], 3) if latency else None,
+            }
+        )
+        rows.append(
+            [rate, len(result.completed_ops()), round(result.virtual_throughput(), 2),
+             round(latency["p50"], 2) if latency else "-", round(latency["p99"], 2) if latency else "-"]
+        )
+    openloop_payload = {
+        "benchmark": "kv_openloop_offered_load_sweep",
+        "mode": mode,
+        "num_keys": num_keys,
+        "num_ops": num_ops,
+        "arrival": "poisson",
+        "sweep": sweep,
+        "python": platform.python_version(),
+    }
+    openloop_path = out_dir / "BENCH_openloop.json"
+    openloop_path.write_text(json.dumps(openloop_payload, indent=1) + "\n")
+    print()
+    print(
+        format_table(
+            ["offered load", "completed", "throughput", "p50", "p99"],
+            rows,
+            title=f"open-loop sweep ({mode}) -> {openloop_path}",
+        )
+    )
     return 0
 
 
@@ -388,6 +515,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=64, help="operations per drive() batch (default 64)"
     )
     sub.add_argument(
+        "--arrival",
+        choices=["closed", "poisson", "uniform"],
+        default="closed",
+        help="traffic model: closed-loop batches (default) or open-loop arrivals",
+    )
+    sub.add_argument(
+        "--rate",
+        type=float,
+        default=8.0,
+        help="open-loop offered load in ops per virtual-time unit (default 8.0)",
+    )
+    sub.add_argument(
         "--crashes",
         type=int,
         default=0,
@@ -395,6 +534,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     sub.set_defaults(handler=cmd_store)
+
+    sub = subparsers.add_parser(
+        "bench", help="run the perf suite and emit BENCH_*.json baselines"
+    )
+    sub.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    sub.add_argument(
+        "--out-dir",
+        default=".",
+        dest="out_dir",
+        help="directory for the BENCH_*.json files (default: current directory)",
+    )
+    sub.set_defaults(handler=cmd_bench)
 
     return parser
 

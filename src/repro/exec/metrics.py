@@ -1,0 +1,138 @@
+"""Operation-level metrics for the unified driver.
+
+The :class:`MetricsCollector` rides along with a
+:class:`~repro.exec.driver.Driver`: the driver notifies it when operations
+are issued, complete or fail, and the collector turns that stream into the
+numbers the analysis layer and the CLI report — latency percentiles
+(p50/p95/p99), virtual-time throughput, and per-kind message attribution
+(operation kinds for latency, wire message types for the bill, taken from the
+shared :class:`~repro.sim.network.NetworkStats`).
+
+Kept dependency-free of :mod:`repro.analysis` (which imports the workload
+layer, which imports this package) — the percentile helper is local.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.registers.base import OperationKind
+from repro.sim.network import Network
+
+
+def nearest_rank(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def _latency_summary(latencies: List[float]) -> Optional[Dict[str, float]]:
+    if not latencies:
+        return None
+    return {
+        "count": len(latencies),
+        "mean": sum(latencies) / len(latencies),
+        "p50": nearest_rank(latencies, 0.50),
+        "p95": nearest_rank(latencies, 0.95),
+        "p99": nearest_rank(latencies, 0.99),
+        "max": max(latencies),
+    }
+
+
+class MetricsCollector:
+    """Accumulates per-operation metrics for one driver.
+
+    Attach a network to also attribute messages: the collector snapshots the
+    aggregate counters when constructed and reports the delta, so several
+    collectors can share one :class:`~repro.sim.network.NetworkStats` without
+    double counting (the store's subnets all bill to the parent).
+    """
+
+    def __init__(self, network: Optional[Network] = None) -> None:
+        self.network = network
+        self.issued = 0
+        self.completed = 0
+        self.failed = 0
+        self.first_issue_at: Optional[float] = None
+        self.last_completion_at: Optional[float] = None
+        self._latencies: Dict[OperationKind, List[float]] = {
+            OperationKind.READ: [],
+            OperationKind.WRITE: [],
+        }
+        self._messages_at_start = network.stats.messages_sent if network is not None else 0
+        self._by_type_at_start = dict(network.stats.by_type) if network is not None else {}
+
+    # ------------------------------------------------------------ driver hooks
+
+    def note_issued(self, now: float) -> None:
+        self.issued += 1
+        if self.first_issue_at is None:
+            self.first_issue_at = now
+
+    def note_completed(self, kind: OperationKind, latency: Optional[float], now: float) -> None:
+        self.completed += 1
+        self.last_completion_at = now
+        if latency is not None:
+            self._latencies[kind].append(latency)
+
+    def note_failed(self) -> None:
+        self.failed += 1
+
+    # -------------------------------------------------------------- reporting
+
+    def latencies(self, kind: Optional[OperationKind] = None) -> List[float]:
+        """Recorded latencies, optionally restricted to one operation kind."""
+        if kind is not None:
+            return list(self._latencies[kind])
+        return self._latencies[OperationKind.READ] + self._latencies[OperationKind.WRITE]
+
+    def virtual_throughput(self) -> float:
+        """Completed operations per virtual-time unit (first issue -> last completion)."""
+        if self.first_issue_at is None or self.last_completion_at is None:
+            return 0.0
+        span = self.last_completion_at - self.first_issue_at
+        if span <= 0:
+            return float("inf") if self.completed else 0.0
+        return self.completed / span
+
+    def messages_sent(self) -> int:
+        """Messages attributed to this collector's window."""
+        if self.network is None:
+            return 0
+        return self.network.stats.messages_sent - self._messages_at_start
+
+    def messages_by_type(self) -> Dict[str, int]:
+        """Per-wire-type message counts within this collector's window."""
+        if self.network is None:
+            return {}
+        start = self._by_type_at_start
+        return {
+            name: count - start.get(name, 0)
+            for name, count in self.network.stats.by_type.items()
+            if count - start.get(name, 0) > 0
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict summary for reports, the CLI and ``BENCH_*.json`` files."""
+        messages = self.messages_sent()
+        snapshot: Dict[str, Any] = {
+            "issued": self.issued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "virtual_throughput": self.virtual_throughput(),
+            "latency": {
+                "read": _latency_summary(self._latencies[OperationKind.READ]),
+                "write": _latency_summary(self._latencies[OperationKind.WRITE]),
+                "all": _latency_summary(self.latencies()),
+            },
+            "messages": {
+                "total": messages,
+                "per_completed_op": (messages / self.completed) if self.completed else None,
+                "by_type": self.messages_by_type(),
+            },
+        }
+        return snapshot

@@ -1,0 +1,118 @@
+"""Targets: what the unified driver issues operations against.
+
+A :class:`Target` adapts a concrete deployment to the driver's routing
+question — *which sequential process should execute this operation?* — so
+clients (closed-loop, scripted, open-loop) are written once and run
+unchanged against either:
+
+* :class:`RegisterTarget` — one register deployment (``n`` processes of one
+  algorithm on one network); operations are routed by pid, the way the
+  single-register workloads address writers and readers.
+* :class:`StoreTarget` — a sharded multi-key :class:`~repro.store.store.KVStore`
+  placement; writes are routed to the key's writer replica, reads round-robin
+  over the key's live replicas (or a pinned replica).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.registers.base import OperationKind, RegisterProcess
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.store import KVStore
+
+
+@dataclass(frozen=True)
+class OpRequest:
+    """A routing request: everything a target needs to pick a process.
+
+    ``pid`` addresses register deployments; ``key`` (plus an optional pinned
+    ``replica``) addresses store placements.
+    """
+
+    kind: OperationKind
+    pid: Optional[int] = None
+    key: Any = None
+    replica: Optional[int] = None
+
+
+class Target(abc.ABC):
+    """Something the driver can issue operations against."""
+
+    @property
+    @abc.abstractmethod
+    def simulator(self) -> Simulator:
+        """The shared event loop this target's processes run on."""
+
+    @property
+    @abc.abstractmethod
+    def network(self) -> Network:
+        """The network whose stats bill this target's messages."""
+
+    @abc.abstractmethod
+    def route(self, request: OpRequest) -> RegisterProcess:
+        """Resolve ``request`` to the sequential process that will execute it."""
+
+
+class RegisterTarget(Target):
+    """A single register deployment addressed by pid."""
+
+    def __init__(self, processes: Sequence[RegisterProcess]) -> None:
+        if not processes:
+            raise ValueError("a register target needs at least one process")
+        self.processes = list(processes)
+        self._simulator = self.processes[0].simulator
+        self._network = self.processes[0].network
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._simulator
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def route(self, request: OpRequest) -> RegisterProcess:
+        if request.pid is None:
+            raise ValueError("register targets route by pid; request.pid is required")
+        return self.processes[request.pid]
+
+
+class StoreTarget(Target):
+    """A sharded multi-key store addressed by key.
+
+    Writes go to the key's writer replica; reads round-robin over the key's
+    live replicas unless ``request.replica`` pins one.  Registers are
+    deployed lazily on first access, exactly like the store's own facade.
+    """
+
+    def __init__(self, store: "KVStore") -> None:
+        self.store = store
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.store.simulator
+
+    @property
+    def network(self) -> Network:
+        return self.store.network
+
+    def route(self, request: OpRequest) -> RegisterProcess:
+        if request.key is None:
+            raise ValueError("store targets route by key; request.key is required")
+        deployment = self.store.register_for(request.key)
+        if request.kind is OperationKind.WRITE:
+            return deployment.processes[deployment.writer_index]
+        if request.replica is not None:
+            replication = self.store.config.replication
+            if not 0 <= request.replica < replication:
+                raise ValueError(
+                    f"replica {request.replica} out of range for replication {replication}"
+                )
+            return deployment.processes[request.replica]
+        return self.store.pick_reader(deployment)

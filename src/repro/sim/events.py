@@ -6,17 +6,23 @@ in an :class:`EventQueue`, a binary heap ordered by ``(time, seq)`` where
 ordering *total* and *deterministic*: two events scheduled for the same
 virtual time always fire in the order they were scheduled, regardless of the
 callback objects involved (callbacks are not comparable).
+
+This module sits on the hottest path of every benchmark: one Event is
+allocated, pushed, compared O(log n) times and popped per simulated message.
+:class:`Event` is therefore a ``__slots__`` class with a hand-written
+``__lt__`` (no per-comparison tuple allocation, no instance ``__dict__``),
+and labels may be *lazy* — any object whose ``str()`` is the label — so the
+senders never pay for formatting diagnostics that are only read when a run
+gets stuck.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -30,16 +36,33 @@ class Event:
     action:
         Zero-argument callable executed when the event fires.
     label:
-        Human-readable tag used by tracing and error messages.
+        Human-readable tag used by tracing and error messages.  May be any
+        object; it is rendered with ``str()`` on demand (lazy labels keep
+        formatting costs off the hot path).
     cancelled:
         Cancelled events stay in the heap but are skipped when popped.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "action", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        label: Any = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when it is popped."""
@@ -47,7 +70,15 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"Event(t={self.time!r}, seq={self.seq}, label={self.label!r}{state})"
+        return f"Event(t={self.time!r}, seq={self.seq}, label={str(self.label)!r}{state})"
+
+
+#: Rebuild the heap when at least this many cancelled entries have
+#: accumulated *and* they outnumber the live ones — keeps heap operations
+#: O(log live) instead of O(log total) under churny cancel-heavy workloads
+#: (timeouts, speculative retries) without ever paying for compaction in
+#: cancel-free runs.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class EventQueue:
@@ -55,13 +86,20 @@ class EventQueue:
 
     The queue assigns sequence numbers itself so that callers cannot
     accidentally produce non-deterministic orderings.  Cancelled events are
-    lazily discarded on :meth:`pop`.
+    lazily discarded on :meth:`pop`, and the heap is periodically compacted
+    when cancelled entries dominate it.
+
+    The heap stores ``(time, seq, event)`` tuples rather than events: tuple
+    comparison runs entirely in C (floats, then ints — never reaching the
+    incomparable event object), so heap sifts make no Python-level ``__lt__``
+    calls.  This is the single largest win on the hot path.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled_in_heap = 0
 
     def __len__(self) -> int:
         return self._live
@@ -73,27 +111,42 @@ class EventQueue:
         self,
         time: float,
         action: Callable[[], None],
-        label: str = "",
+        label: Any = "",
     ) -> Event:
         """Schedule ``action`` at virtual ``time`` and return the event handle."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time=time, seq=next(self._counter), action=action, label=label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, action, label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event (idempotent)."""
         if not event.cancelled:
-            event.cancel()
+            event.cancelled = True
             self._live -= 1
+            self._cancelled_in_heap += 1
+            if (
+                self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+                and self._cancelled_in_heap > self._live
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (heap order is seq-stable)."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._live -= 1
             return event
@@ -101,25 +154,28 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the virtual time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Discard all pending events."""
         self._heap.clear()
         self._live = 0
+        self._cancelled_in_heap = 0
 
     def iter_pending(self) -> Iterator[Event]:
         """Iterate over live pending events in an unspecified order (for inspection)."""
-        return (event for event in self._heap if not event.cancelled)
+        return (entry[2] for entry in self._heap if not entry[2].cancelled)
 
     def pending_labels(self) -> list[str]:
         """Return labels of live events, sorted by (time, seq) — useful in error messages."""
         live = sorted(self.iter_pending(), key=lambda e: (e.time, e.seq))
-        return [e.label for e in live]
+        return [str(e.label) for e in live]
 
 
 def never(_: Any = None) -> bool:

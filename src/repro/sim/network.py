@@ -76,6 +76,10 @@ def _data_bits(message: Any) -> int:
     return 0
 
 
+#: Accessor modes cached per message class (see ``NetworkStats._accessors``).
+_ABSENT, _CALL, _GENERIC = 0, 1, 2
+
+
 @dataclass
 class NetworkStats:
     """Aggregated message statistics for a simulation run."""
@@ -91,17 +95,70 @@ class NetworkStats:
     # Operation attribution: the workload runner opens an accounting window
     # (`mark()`) before an operation and reads the delta after it completes.
     _marks: Dict[str, int] = field(default_factory=dict)
+    # Hot-path cache: message *class* -> (name_mode, name_const, control_mode,
+    # data_mode).  record_send runs once per simulated message; probing
+    # ``type_name`` / ``control_bits`` / ``data_bits`` with getattr+callable on
+    # every message dominates its cost, and the answer only depends on the
+    # message class.  (Messages that grow these accessors as *instance*
+    # attributes on a class that lacks them are not supported — no message in
+    # the repository does that.)
+    _accessors: Dict[type, tuple] = field(default_factory=dict, repr=False)
+
+    def _compute_accessors(self, cls: type) -> tuple:
+        name_attr = getattr(cls, "type_name", None)
+        if name_attr is None:
+            name_mode, name_const = _ABSENT, cls.__name__
+        elif isinstance(name_attr, str):
+            name_mode, name_const = _ABSENT, name_attr
+        elif isinstance(name_attr, property):
+            name_mode, name_const = _GENERIC, None  # evaluate per instance
+        elif callable(name_attr):
+            name_mode, name_const = _CALL, None
+        else:
+            name_mode, name_const = _ABSENT, cls.__name__
+        control_attr = getattr(cls, "control_bits", None)
+        control_mode = (
+            _ABSENT if control_attr is None else (_CALL if callable(control_attr) else _GENERIC)
+        )
+        data_attr = getattr(cls, "data_bits", None)
+        data_mode = _ABSENT if data_attr is None else (_CALL if callable(data_attr) else _GENERIC)
+        accessors = (name_mode, name_const, control_mode, data_mode)
+        self._accessors[cls] = accessors
+        return accessors
 
     def record_send(self, src: int, message: Any) -> tuple[int, int]:
-        control = _control_bits(message)
-        data = _data_bits(message)
+        cls = message.__class__
+        accessors = self._accessors.get(cls)
+        if accessors is None:
+            accessors = self._compute_accessors(cls)
+        name_mode, name_const, control_mode, data_mode = accessors
+        if control_mode == _CALL:
+            control = int(message.control_bits())
+        elif control_mode == _ABSENT:
+            control = 0
+        else:
+            control = _control_bits(message)
+        if data_mode == _CALL:
+            data = int(message.data_bits())
+        elif data_mode == _ABSENT:
+            data = 0
+        else:
+            data = _data_bits(message)
         self.messages_sent += 1
         self.control_bits_total += control
         self.data_bits_total += data
-        self.max_control_bits = max(self.max_control_bits, control)
-        name = _message_type_name(message)
-        self.by_type[name] = self.by_type.get(name, 0) + 1
-        self.per_sender[src] = self.per_sender.get(src, 0) + 1
+        if control > self.max_control_bits:
+            self.max_control_bits = control
+        if name_mode == _ABSENT:
+            name = name_const
+        elif name_mode == _CALL:
+            name = str(message.type_name())
+        else:
+            name = _message_type_name(message)
+        by_type = self.by_type
+        by_type[name] = by_type.get(name, 0) + 1
+        per_sender = self.per_sender
+        per_sender[src] = per_sender.get(src, 0) + 1
         return control, data
 
     def record_delivery(self) -> None:
@@ -129,6 +186,76 @@ class NetworkStats:
             "max_control_bits": self.max_control_bits,
             "by_type": dict(self.by_type),
         }
+
+
+class _Delivery:
+    """Prebuilt delivery record: the scheduled action for one in-flight message.
+
+    ``Network.send`` used to close over half a dozen locals per message; on
+    the hot path that meant allocating a function object, a cell tuple and a
+    fresh label string for every send.  A ``_Delivery`` is a single
+    ``__slots__`` object that carries exactly the state delivery needs, is
+    itself the event callback (``__call__``), and doubles as the event's
+    *lazy* label (``__str__`` formats the diagnostic only if a stuck run asks
+    for it).
+    """
+
+    __slots__ = ("network", "channel", "src", "dst", "message", "send_time", "control", "data")
+
+    def __init__(
+        self,
+        network: "Network",
+        channel: "Channel",
+        src: int,
+        dst: int,
+        message: Any,
+        send_time: float,
+        control: int,
+        data: int,
+    ) -> None:
+        self.network = network
+        self.channel = channel
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.send_time = send_time
+        self.control = control
+        self.data = data
+
+    def __call__(self) -> None:
+        network = self.network
+        self.channel.in_flight -= 1
+        destination = network._processes[self.dst]
+        delivered = not destination.crashed
+        if network.record_messages:
+            network.records.append(
+                MessageRecord(
+                    send_time=self.send_time,
+                    delivery_time=network.simulator.now,
+                    src=self.src,
+                    dst=self.dst,
+                    message=self.message,
+                    control_bits=self.control,
+                    data_bits=self.data,
+                    delivered=delivered,
+                )
+            )
+        if not delivered:
+            network.stats.record_drop()
+            return
+        network.stats.messages_delivered += 1  # record_delivery(), inlined
+        self.channel.delivered += 1
+        tracer = network.simulator.tracer
+        if tracer.enabled:
+            tracer.record(network.simulator.now, "deliver", self.src, self.dst, self.message)
+        hooks = network._delivery_hooks
+        if hooks:
+            for hook in hooks:
+                hook(self.src, self.dst, self.message)
+        destination.deliver(self.src, self.message)
+
+    def __str__(self) -> str:
+        return f"deliver {self.message!r} p{self.src}->p{self.dst}"
 
 
 class Channel:
@@ -234,42 +361,24 @@ class Network:
             # A crashed process takes no steps, hence cannot send.
             return
         control, data = self.stats.record_send(src, message)
-        channel = self.channel(src, dst)
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self._channels[key] = Channel(src, dst)
         channel.in_flight += 1
         delay = self.delay_model.sample(src, dst)
         if delay < 0:
             raise ValueError(f"delay model produced negative delay {delay}")
-        send_time = self.simulator.now
-        self.simulator.tracer.record(send_time, "send", src, dst, message)
-
-        def deliver() -> None:
-            channel.in_flight -= 1
-            destination = self._processes[dst]
-            delivered = not destination.crashed
-            if self.record_messages:
-                self.records.append(
-                    MessageRecord(
-                        send_time=send_time,
-                        delivery_time=self.simulator.now,
-                        src=src,
-                        dst=dst,
-                        message=message,
-                        control_bits=control,
-                        data_bits=data,
-                        delivered=delivered,
-                    )
-                )
-            if not delivered:
-                self.stats.record_drop()
-                return
-            self.stats.record_delivery()
-            channel.delivered += 1
-            self.simulator.tracer.record(self.simulator.now, "deliver", src, dst, message)
-            for hook in self._delivery_hooks:
-                hook(src, dst, message)
-            destination.deliver(src, message)
-
-        self.simulator.schedule_after(delay, deliver, label=f"deliver {message!r} p{src}->p{dst}")
+        simulator = self.simulator
+        send_time = simulator._now  # .now property, bypassed on the hot path
+        tracer = simulator.tracer
+        if tracer.enabled:
+            tracer.record(send_time, "send", src, dst, message)
+        # The delivery object is both the event's action and its lazy label;
+        # push straight onto the queue (delay >= 0 was just checked, so the
+        # schedule_after guard would be redundant).
+        delivery = _Delivery(self, channel, src, dst, message, send_time, control, data)
+        simulator._queue.push(send_time + delay, delivery, delivery)
 
     def broadcast(self, src: int, message_factory: Callable[[int], Any]) -> None:
         """Send ``message_factory(dst)`` to every process except ``src``."""
@@ -315,5 +424,9 @@ class Subnet(Network):
         self.parent = parent
         self.name = name
         # Share the parent's aggregate accounting so the whole deployment has
-        # a single message/bit bill (what the store benchmarks report).
+        # a single message/bit bill (what the store benchmarks report).  The
+        # record log is shared too: with ``record_messages=True`` every
+        # subnet's MessageRecords land in one parent-owned list, so the bill
+        # (stats) and the log (records) describe the same set of messages.
         self.stats = parent.stats
+        self.records = parent.records

@@ -123,7 +123,8 @@ class Process:
         self.messages_received += 1
         self.on_message(src, message)
         self.messages_handled += 1
-        self.check_guards()
+        if self._guards:  # fast path: skip the call when nothing is awaited
+            self.check_guards()
 
     def on_message(self, src: int, message: Any) -> None:
         """Handle one delivered message.  Subclasses must override."""
@@ -170,7 +171,10 @@ class Process:
         Firing a guard can change state and thereby enable other guards, so
         the scan repeats until it completes a pass with no firing.
         """
-        if self.crashed:
+        if not self._guards or self.crashed:
+            # Fast path: most deliveries find no pending guards (quorums
+            # already satisfied or not yet awaited) — skip the scan loop and
+            # its per-pass list copies entirely.
             return
         progressed = True
         while progressed:

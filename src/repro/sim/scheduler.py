@@ -16,7 +16,7 @@ benchmarks rely on this.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.tracing import Tracer
@@ -71,18 +71,22 @@ class Simulator:
 
     # -------------------------------------------------------------- scheduling
 
-    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``action`` at absolute virtual ``time`` (must not be in the past)."""
+    def schedule_at(self, time: float, action: Callable[[], None], label: Any = "") -> Event:
+        """Schedule ``action`` at absolute virtual ``time`` (must not be in the past).
+
+        ``label`` may be any object; it is rendered with ``str()`` only when
+        diagnostics are produced (lazy labels — see :class:`~repro.sim.events.Event`).
+        """
         if time < self._now:
             raise SimulationError(
-                f"cannot schedule event {label!r} at {time} < current time {self._now}"
+                f"cannot schedule event {str(label)!r} at {time} < current time {self._now}"
             )
         return self._queue.push(time, action, label)
 
-    def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+    def schedule_after(self, delay: float, action: Callable[[], None], label: Any = "") -> Event:
         """Schedule ``action`` ``delay`` time units from now."""
         if delay < 0:
-            raise SimulationError(f"negative delay {delay} for event {label!r}")
+            raise SimulationError(f"negative delay {delay} for event {str(label)!r}")
         return self._queue.push(self._now + delay, action, label)
 
     def cancel(self, event: Event) -> None:
@@ -108,6 +112,10 @@ class Simulator:
 
         Returns ``True`` if an event was executed, ``False`` if the queue is
         empty.
+
+        Hot path: the common case (no observers, event in order) runs with no
+        per-event allocations and no tracer/observer calls — verification
+        hooks that do register observers pay for them, benchmark runs do not.
         """
         event = self._queue.pop()
         if event is None:
@@ -122,8 +130,9 @@ class Simulator:
                 "the protocol may be generating an unbounded message storm"
             )
         event.action()
-        for observer in self._observers:
-            observer(self)
+        if self._observers:
+            for observer in self._observers:
+                observer(self)
         return True
 
     def run(self, until: Optional[float] = None) -> None:
@@ -133,11 +142,17 @@ class Simulator:
         it remain in the queue and the clock is advanced to ``until``.
         """
         self._stopped = False
+        if until is None:
+            # Drain mode: pop-driven loop, no peek per event.
+            step = self.step
+            while not self._stopped and step():
+                pass
+            return
         while not self._stopped:
             next_time = self._queue.peek_time()
             if next_time is None:
                 break
-            if until is not None and next_time > until:
+            if next_time > until:
                 self._now = max(self._now, until)
                 break
             self.step()
@@ -152,11 +167,19 @@ class Simulator:
         self._stopped = False
         if predicate():
             return True
+        if limit is None:
+            step = self.step
+            while not self._stopped:
+                if not step():
+                    return predicate()
+                if predicate():
+                    return True
+            return predicate()
         while not self._stopped:
             next_time = self._queue.peek_time()
             if next_time is None:
                 return predicate()
-            if limit is not None and next_time > limit:
+            if next_time > limit:
                 self._now = max(self._now, limit)
                 return predicate()
             self.step()

@@ -28,6 +28,11 @@ Two driving styles, same API:
   finishes in roughly one operation's latency instead of B of them —
   ``benchmarks/bench_store_throughput.py`` measures the difference.
 
+Both styles delegate the actual driving — per-process FIFO queueing,
+completion chaining, stuck detection, metrics — to the unified execution
+engine (:mod:`repro.exec`); the store contributes routing
+(:class:`~repro.exec.target.StoreTarget`) and the shard/replica geometry.
+
 Per-key atomicity is checked with the same fast checker the single-register
 harness uses: each key's operations form an independent SWMR history
 (:meth:`KVStore.check_atomicity`).
@@ -35,16 +40,16 @@ harness uses: each key's operations form an independent SWMR history
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from repro.exec.driver import Driver, ExecOp
+from repro.exec.metrics import MetricsCollector
+from repro.exec.target import OpRequest, StoreTarget
 from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
 from repro.registers.registry import get_algorithm
 from repro.sim.delays import DelayModel
 from repro.sim.network import Network, Subnet
-from repro.sim.process import ProcessCrashedError
 from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
 from repro.store.shardmap import Placement, ShardMap
@@ -54,6 +59,10 @@ from repro.verification.register_checker import (
     AtomicityViolation,
     check_swmr_atomicity,
 )
+
+#: A submitted store operation — the engine-level future, re-exported under
+#: its historical name (``op.key`` is always set for store operations).
+StoreOp = ExecOp
 
 
 @dataclass(frozen=True)
@@ -101,47 +110,6 @@ class StoreConfig:
     def with_(self, **changes: object) -> "StoreConfig":
         """Copy with fields replaced (sugar over :func:`dataclasses.replace`)."""
         return replace(self, **changes)
-
-
-@dataclass
-class StoreOp:
-    """A submitted store operation — a future the batch driver completes.
-
-    ``record`` is the underlying register-level
-    :class:`~repro.registers.base.OperationRecord` once the operation has
-    been issued to a process; until then the operation is queued behind
-    earlier operations targeting the same (sequential) process.
-    """
-
-    op_id: int
-    key: Any
-    kind: OperationKind
-    value: Any = None
-    record: Optional[OperationRecord] = None
-    failed: bool = False
-    failure_reason: str = ""
-
-    @property
-    def completed(self) -> bool:
-        """True when the operation finished successfully."""
-        return not self.failed and self.record is not None and self.record.completed
-
-    @property
-    def done(self) -> bool:
-        """True when the operation finished (successfully or not)."""
-        return self.failed or self.completed
-
-    @property
-    def result(self) -> Any:
-        """The value read (reads) or written (writes); raises if not completed."""
-        if not self.completed:
-            raise RuntimeError(
-                f"{self.kind.value}({self.key!r}) has not completed"
-                + (f" (failed: {self.failure_reason})" if self.failed else "")
-            )
-        if self.kind is OperationKind.READ:
-            return self.record.result
-        return self.value
 
 
 @dataclass
@@ -229,11 +197,17 @@ class KVStore:
             StoreShard(shard_id=shard, replication=config.replication)
             for shard in range(config.num_shards)
         ]
-        self.ops: List[StoreOp] = []
         self._registers: Dict[Any, KeyRegister] = {}
-        self._op_counter = itertools.count()
-        self._queues: Dict[RegisterProcess, deque[StoreOp]] = {}
-        self._outstanding = 0
+        # All driving goes through the unified execution engine: the store
+        # contributes routing (StoreTarget) and geometry; repro.exec owns
+        # queueing, completion chaining, stuck detection and metrics.
+        self.target = StoreTarget(self)
+        self.driver = Driver(self.simulator, metrics=MetricsCollector(self.network))
+
+    @property
+    def ops(self) -> List[StoreOp]:
+        """Every submitted operation, in submission order."""
+        return self.driver.ops
 
     # ------------------------------------------------------------- placement
 
@@ -279,13 +253,13 @@ class KVStore:
     # ------------------------------------------------------------ submission
 
     def submit_put(self, key: Any, value: Any) -> StoreOp:
-        """Enqueue a write of ``value`` to ``key``; complete it via :meth:`drive`."""
-        deployment = self.register_for(key)
-        op = StoreOp(
-            op_id=next(self._op_counter), key=key, kind=OperationKind.WRITE, value=value
-        )
-        self.ops.append(op)
-        self._enqueue(deployment.processes[deployment.writer_index], op)
+        """Enqueue a write of ``value`` to ``key``; complete it via :meth:`drive`.
+
+        Routing (and lazy register deployment) happens in ``target.route``.
+        """
+        process = self.target.route(OpRequest(kind=OperationKind.WRITE, key=key))
+        op = self.driver.new_op(OperationKind.WRITE, value=value, key=key)
+        self.driver.submit(process, op)
         return op
 
     def submit_get(self, key: Any, replica: Optional[int] = None) -> StoreOp:
@@ -294,22 +268,15 @@ class KVStore:
         Reads round-robin over the key's live replicas unless ``replica``
         pins a specific one.
         """
-        deployment = self.register_for(key)
-        if replica is None:
-            process = self._pick_reader(deployment)
-        else:
-            if not 0 <= replica < self.config.replication:
-                raise ValueError(
-                    f"replica {replica} out of range for replication "
-                    f"{self.config.replication}"
-                )
-            process = deployment.processes[replica]
-        op = StoreOp(op_id=next(self._op_counter), key=key, kind=OperationKind.READ)
-        self.ops.append(op)
-        self._enqueue(process, op)
+        process = self.target.route(
+            OpRequest(kind=OperationKind.READ, key=key, replica=replica)
+        )
+        op = self.driver.new_op(OperationKind.READ, key=key)
+        self.driver.submit(process, op)
         return op
 
-    def _pick_reader(self, deployment: KeyRegister) -> RegisterProcess:
+    def pick_reader(self, deployment: KeyRegister) -> RegisterProcess:
+        """Round-robin over the deployment's live replicas (used by routing)."""
         replication = self.config.replication
         for offset in range(replication):
             index = (deployment.next_read_replica + offset) % replication
@@ -319,57 +286,15 @@ class KVStore:
         # Unreachable under the minority crash budget; kept for robustness.
         return deployment.processes[deployment.next_read_replica]
 
-    # ----------------------------------------------------------- the driver
+    # ----------------------------------------------------------- driving
     #
-    # Each register process is sequential (it may have at most one of its own
-    # operations outstanding), so the driver keeps a FIFO queue per process:
-    # the head of a queue is in flight, the rest wait for its completion
-    # callback.  Queues on *different* processes proceed concurrently — that
-    # concurrency is the whole point of batching.
-
-    def _enqueue(self, process: RegisterProcess, op: StoreOp) -> None:
-        queue = self._queues.setdefault(process, deque())
-        queue.append(op)
-        self._outstanding += 1
-        if len(queue) == 1:
-            self._issue(process)
-
-    def _issue(self, process: RegisterProcess) -> None:
-        queue = self._queues[process]
-        while queue:
-            op = queue[0]
-            try:
-                if op.kind is OperationKind.WRITE:
-                    record = process.invoke_write(
-                        op.value, lambda record, p=process: self._on_complete(p, record)
-                    )
-                else:
-                    record = process.invoke_read(
-                        lambda record, p=process: self._on_complete(p, record)
-                    )
-            except ProcessCrashedError:
-                queue.popleft()
-                op.failed = True
-                op.failure_reason = f"replica p{process.pid} crashed before issuing"
-                self._outstanding -= 1
-                continue
-            if op.record is None:  # the callback may have fired synchronously
-                op.record = record
-            return
-
-    def _on_complete(self, process: RegisterProcess, record: OperationRecord) -> None:
-        queue = self._queues[process]
-        op = queue.popleft()
-        if op.record is None:
-            op.record = record
-        self._outstanding -= 1
-        if queue:
-            self._issue(process)
+    # Queueing, issuing and completion chaining live in repro.exec.Driver;
+    # the store only decides *when* to run the loop and for how long.
 
     @property
     def outstanding(self) -> int:
         """Submitted operations not yet completed (or failed)."""
-        return self._outstanding
+        return self.driver.outstanding
 
     def drive(self, limit: Optional[float] = None) -> bool:
         """Run the shared event loop until every submitted operation is done.
@@ -384,21 +309,7 @@ class KVStore:
         """
         if limit is None:
             limit = self.simulator.now + self.config.max_virtual_time
-        finished = self.simulator.run_until(lambda: self._outstanding == 0, limit=limit)
-        if not finished and self._outstanding and self.simulator.pending_events == 0:
-            self._fail_stuck()
-        return finished
-
-    def _fail_stuck(self) -> None:
-        for process, queue in self._queues.items():
-            while queue:
-                op = queue.popleft()
-                op.failed = True
-                op.failure_reason = (
-                    f"stalled on replica p{process.pid}"
-                    f" (crashed={process.crashed}); event queue drained"
-                )
-                self._outstanding -= 1
+        return self.driver.drive(limit=limit)
 
     # ----------------------------------------------------- blocking facade
 
@@ -478,6 +389,10 @@ class KVStore:
     def stats(self):
         """Aggregate network statistics across every key's subnet."""
         return self.network.stats
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Driver-level metrics: latency percentiles, throughput, message mix."""
+        return self.driver.metrics.snapshot()
 
     def total_messages(self) -> int:
         """Messages sent across the whole store so far."""

@@ -25,6 +25,7 @@ from repro.workloads.kv import (
     KVOp,
     KVWorkloadResult,
     KVWorkloadSpec,
+    generate_kv_arrivals,
     generate_kv_operations,
     run_kv_workload,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "ScriptedOperation",
     "WorkloadResult",
     "WorkloadSpec",
+    "generate_kv_arrivals",
     "generate_kv_operations",
     "generate_scripts",
     "run_kv_workload",

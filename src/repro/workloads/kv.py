@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional, Tuple
 
+from repro.exec.clients import ARRIVAL_PROCESSES, OpenLoopClient, arrival_times
+from repro.exec.target import OpRequest
 from repro.registers.base import OperationKind
 from repro.sim.delays import DelayModel, FixedDelay
 from repro.sim.rng import make_rng
@@ -67,14 +69,23 @@ class KVWorkloadSpec:
         The store geometry (see :class:`~repro.store.store.StoreConfig`).
     batch_size:
         Operations submitted per :meth:`~repro.store.store.KVStore.drive`
-        call.  ``1`` reproduces the classic per-operation driving pattern;
-        larger batches overlap independent operations in virtual time.
+        call (closed-loop driving only).  ``1`` reproduces the classic
+        per-operation driving pattern; larger batches overlap independent
+        operations in virtual time.
+    arrival / arrival_rate:
+        Traffic model.  ``"closed"`` (default) submits in batches as above.
+        ``"poisson"`` / ``"uniform"`` switch to **open-loop** driving: the
+        operation stream arrives at seeded arrival times with mean rate
+        ``arrival_rate`` (operations per virtual-time unit), regardless of
+        completions — offered load is decoupled from service rate, so
+        overload shows up as queueing delay instead of client throttling.
     delay_model:
         Message-delay model (default ``FixedDelay(1.0)``).
     crash_points:
         Server crashes to schedule before the run starts.
     seed:
-        Master seed for key choice, op mix and think randomness.
+        Master seed for key choice, op mix, arrival times and think
+        randomness.
     """
 
     num_keys: int = 16
@@ -87,6 +98,8 @@ class KVWorkloadSpec:
     replication: int = 3
     placement_salt: int = 0
     batch_size: int = 64
+    arrival: str = "closed"
+    arrival_rate: float = 0.0
     delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
     crash_points: Tuple[CrashPoint, ...] = ()
     seed: int = 0
@@ -108,6 +121,20 @@ class KVWorkloadSpec:
             raise ValueError(f"zipf_s must be positive, got {self.zipf_s}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.arrival not in ("closed",) + ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival model {self.arrival!r}; choose from "
+                f"{('closed',) + ARRIVAL_PROCESSES}"
+            )
+        if self.arrival != "closed" and self.arrival_rate <= 0:
+            raise ValueError(
+                f"open-loop arrivals need a positive arrival_rate, got {self.arrival_rate}"
+            )
+
+    @property
+    def open_loop(self) -> bool:
+        """True when this spec drives the store open-loop."""
+        return self.arrival != "closed"
 
     # ------------------------------------------------------------ conveniences
 
@@ -206,6 +233,15 @@ class KVWorkloadResult:
     wall_seconds: float
     virtual_makespan: float
     batches: int
+    #: Open-loop runs: the seeded arrival times, in submission order.
+    arrivals: List[float] = field(default_factory=list)
+    #: Driver-level metrics snapshot (latency percentiles, throughput, message mix).
+    metrics: dict = field(default_factory=dict)
+    #: False when the virtual-time budget cut the run short — operations were
+    #: left unsubmitted or pending (in limbo).  Operations that *failed fast*
+    #: with a reason (crashed replica) still count as a clean finish; they are
+    #: reported via ``failed_ops`` instead.  Never silently truncate.
+    finished_cleanly: bool = True
 
     def completed_ops(self) -> list[StoreOp]:
         """Operations that completed successfully."""
@@ -247,13 +283,59 @@ class KVWorkloadResult:
         return self.store.check_atomicity(raise_on_violation=raise_on_violation)
 
 
+def generate_kv_arrivals(spec: KVWorkloadSpec) -> List[float]:
+    """Seeded open-loop arrival times for ``spec`` (one per operation).
+
+    Derived from the master seed but on an independent RNG stream, so the
+    operation mix is identical between closed- and open-loop runs of the
+    same spec — only *when* operations arrive changes.
+    """
+    if not spec.open_loop:
+        raise ValueError(f"spec has closed-loop arrivals (arrival={spec.arrival!r})")
+    rng = make_rng(spec.seed, "kv-arrivals", spec.arrival, spec.arrival_rate, spec.num_ops)
+    return arrival_times(spec.arrival, rng, spec.arrival_rate, spec.num_ops)
+
+
+def _run_open_loop(
+    spec: KVWorkloadSpec, store: KVStore, operations: List[KVOp]
+) -> tuple[List[StoreOp], List[float], bool]:
+    """Drive the full operation stream open-loop; returns (ops, arrivals, finished)."""
+    times = generate_kv_arrivals(spec)
+    arrivals = [
+        (
+            at,
+            OpRequest(kind=scripted.kind, key=scripted.key),
+            scripted.value,
+        )
+        for at, scripted in zip(times, operations)
+    ]
+    client = OpenLoopClient(store.driver, store.target, arrivals)
+    client.start()
+    # The budget bounds *completion after the last arrival*, mirroring the
+    # closed-loop per-drive budget — a low offered rate must not eat the
+    # whole budget with idle waiting and then silently truncate the tail.
+    last_arrival = times[-1] if times else 0.0
+    client.drive(limit=last_arrival + spec.max_virtual_time)
+    # Clean = every arrival fired and every op reached a terminal state
+    # (completed, or failed-with-reason — crash failures are reported, not
+    # truncation).  Anything unsubmitted or still pending is truncation.
+    clean = client.all_submitted and all(op.done for op in client.ops)
+    return client.ops, times, clean
+
+
 def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
     """Execute a keyed workload against a fresh store and collect the result.
 
-    Operations are submitted in batches of ``spec.batch_size`` and each batch
-    is completed with one :meth:`~repro.store.store.KVStore.drive` call, so
-    ``batch_size=1`` reproduces per-operation driving and larger batches
-    exercise the overlapped hot path.
+    Closed-loop (default): operations are submitted in batches of
+    ``spec.batch_size`` and each batch is completed with one
+    :meth:`~repro.store.store.KVStore.drive` call, so ``batch_size=1``
+    reproduces per-operation driving and larger batches exercise the
+    overlapped hot path.
+
+    Open-loop (``spec.arrival`` in ``("poisson", "uniform")``): the same
+    operation stream arrives at seeded times with mean rate
+    ``spec.arrival_rate`` and one drive call runs the loop until every
+    arrival has fired and completed.
     """
     store = KVStore(spec.store_config())
     for point in spec.crash_points:
@@ -262,16 +344,23 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
         )
     operations = generate_kv_operations(spec)
     submitted: List[StoreOp] = []
+    arrivals: List[float] = []
     batches = 0
+    finished = True
     started = time.perf_counter()
-    for begin in range(0, len(operations), spec.batch_size):
-        for scripted in operations[begin : begin + spec.batch_size]:
-            if scripted.kind is OperationKind.WRITE:
-                submitted.append(store.submit_put(scripted.key, scripted.value))
-            else:
-                submitted.append(store.submit_get(scripted.key))
-        store.drive()
-        batches += 1
+    if spec.open_loop:
+        submitted, arrivals, finished = _run_open_loop(spec, store, operations)
+        batches = 1
+    else:
+        for begin in range(0, len(operations), spec.batch_size):
+            for scripted in operations[begin : begin + spec.batch_size]:
+                if scripted.kind is OperationKind.WRITE:
+                    submitted.append(store.submit_put(scripted.key, scripted.value))
+                else:
+                    submitted.append(store.submit_get(scripted.key))
+            store.drive()
+            batches += 1
+        finished = all(op.done for op in submitted)
     wall_seconds = time.perf_counter() - started
     return KVWorkloadResult(
         spec=spec,
@@ -280,4 +369,7 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
         wall_seconds=wall_seconds,
         virtual_makespan=store.simulator.now,
         batches=batches,
+        arrivals=arrivals,
+        metrics=store.metrics_snapshot(),
+        finished_cleanly=finished,
     )

@@ -9,6 +9,13 @@ benchmarks use to execute a workload:
 >>> result.write_latencies()          # latencies in delta units
 [2.0, 2.0, 2.0, 2.0, 2.0]
 
+All driving goes through the unified execution engine (:mod:`repro.exec`):
+the runner builds the deployment, wraps each scripted process in a
+:class:`~repro.exec.clients.ClosedLoopClient` (concurrent mode) or feeds the
+global sequence to an :class:`~repro.exec.clients.IsolatedClient` (isolated
+mode), and collects records from the shared
+:class:`~repro.exec.driver.Driver`.
+
 Two execution modes:
 
 * **concurrent (default)** — every client runs closed-loop: it issues its
@@ -28,11 +35,13 @@ from typing import Any, Optional, Sequence
 
 from repro.core.invariants import GlobalInvariantMonitor, attach_monitor
 from repro.core.process import TwoBitRegisterProcess
+from repro.exec.clients import ClosedLoopClient, IsolatedClient, IsolatedOpCost
+from repro.exec.driver import Driver
+from repro.exec.metrics import MetricsCollector
 from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
 from repro.registers.registry import get_algorithm
 from repro.sim.failures import FailureInjector
 from repro.sim.network import Network
-from repro.sim.process import ProcessCrashedError
 from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
 from repro.verification.history import History
@@ -40,16 +49,10 @@ from repro.verification.register_checker import AtomicityReport, check_swmr_atom
 from repro.workloads.generator import ClientScript, generate_scripts, interleave_isolated
 from repro.workloads.spec import WorkloadSpec
 
-
-@dataclass
-class PerOperationCost:
-    """Message/latency cost of one isolated operation (isolated mode only)."""
-
-    kind: OperationKind
-    pid: int
-    latency: float
-    messages: int
-    messages_to_completion: int
+#: Message/latency cost of one isolated operation (isolated mode only).
+#: Alias of the engine-level cost record, kept under its historical name for
+#: the analysis layer and external callers.
+PerOperationCost = IsolatedOpCost
 
 
 @dataclass
@@ -65,6 +68,7 @@ class WorkloadResult:
     monitor: Optional[GlobalInvariantMonitor] = None
     isolated_costs: list[PerOperationCost] = field(default_factory=list)
     finished_cleanly: bool = True
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------ convenience
 
@@ -139,113 +143,45 @@ def _build(spec: WorkloadSpec, trace: bool) -> tuple[Simulator, Network, list[Re
 
 def _run_isolated(
     spec: WorkloadSpec,
-    simulator: Simulator,
+    driver: Driver,
     network: Network,
     processes: Sequence[RegisterProcess],
     scripts: dict[int, ClientScript],
-    records: list[OperationRecord],
 ) -> tuple[list[PerOperationCost], bool]:
-    costs: list[PerOperationCost] = []
-    clean = True
-    for pid, scripted in interleave_isolated(scripts, spec.seed):
-        process = processes[pid]
-        if process.crashed:
-            continue
-        messages_before = network.stats.messages_sent
-        started_at = simulator.now
-        try:
-            if scripted.kind is OperationKind.WRITE:
-                record = process.invoke_write(scripted.value, lambda _r: None)
-            else:
-                record = process.invoke_read(lambda _r: None)
-        except ProcessCrashedError:
-            continue
-        records.append(record)
-        completed = simulator.run_until(
-            lambda: record.completed, limit=started_at + spec.max_virtual_time
-        )
-        if not completed:
-            clean = False
-            continue
-        messages_at_completion = network.stats.messages_sent
-        # Drain residual dissemination (forwarded WRITEs, late acknowledgements)
-        # so the next operation starts from a quiescent system and the whole
-        # cost of this operation is attributed to it.
-        simulator.run()
-        costs.append(
-            PerOperationCost(
-                kind=scripted.kind,
-                pid=pid,
-                latency=record.latency if record.latency is not None else float("nan"),
-                messages=network.stats.messages_sent - messages_before,
-                messages_to_completion=messages_at_completion - messages_before,
-            )
-        )
-    return costs, clean
+    client = IsolatedClient(driver, network, max_virtual_time=spec.max_virtual_time)
+    sequence = [
+        (processes[pid], scripted.kind, scripted.value)
+        for pid, scripted in interleave_isolated(scripts, spec.seed)
+    ]
+    clean = client.run_sequence(sequence)
+    return client.costs, clean
 
 
 def _run_concurrent(
     spec: WorkloadSpec,
-    simulator: Simulator,
+    driver: Driver,
     processes: Sequence[RegisterProcess],
     scripts: dict[int, ClientScript],
-    records: list[OperationRecord],
 ) -> bool:
-    outstanding = {pid: len(script.operations) for pid, script in scripts.items()}
+    clients = [
+        ClosedLoopClient(
+            driver,
+            processes[pid],
+            [(op.kind, op.value, op.think_time) for op in script.operations],
+            start_delay=script.start_delay,
+        )
+        for pid, script in scripts.items()
+    ]
+    for client in clients:
+        client.start()
 
-    def drive(pid: int, index: int) -> None:
-        """Issue operation ``index`` of ``pid``'s script, then chain the next one."""
-        script = scripts[pid]
-        if index >= len(script.operations):
-            return
-        process = processes[pid]
-        if process.crashed:
-            # The client dies with its process; remaining operations are never issued.
-            outstanding[pid] = 0
-            return
-        scripted = script.operations[index]
-
-        def on_complete(_record: OperationRecord) -> None:
-            outstanding[pid] = len(script.operations) - index - 1
-            next_index = index + 1
-            if next_index >= len(script.operations):
-                return
-            think = script.operations[next_index].think_time
-            if think > 0:
-                simulator.schedule_after(think, lambda: drive(pid, next_index), label=f"p{pid} think")
-            else:
-                drive(pid, next_index)
-
-        try:
-            if scripted.kind is OperationKind.WRITE:
-                record = process.invoke_write(scripted.value, on_complete)
-            else:
-                record = process.invoke_read(on_complete)
-        except ProcessCrashedError:
-            outstanding[pid] = 0
-            return
-        records.append(record)
-
-    for pid, script in scripts.items():
-        simulator.schedule_at(script.start_delay, lambda p=pid: drive(p, 0), label=f"p{pid} start")
-
-    def all_done() -> bool:
-        # A client is "done" when it has no more operations to issue and its
-        # last issued operation completed (or its process crashed).
-        for pid in scripts:
-            process = processes[pid]
-            if process.crashed:
-                continue
-            if outstanding.get(pid, 0) > 0:
-                return False
-            current = process.current_operation
-            if current is not None and not current.completed:
-                return False
-        return True
-
-    finished = simulator.run_until(all_done, limit=spec.max_virtual_time)
+    # A client is "done" when it has no more operations to issue and its last
+    # issued operation completed (or its process crashed).
+    finished = driver.simulator.run_until(
+        lambda: all(client.done for client in clients), limit=spec.max_virtual_time
+    )
     # Drain the tail: forwarded WRITE messages, PROCEEDs in flight, etc.
-    simulator.run(until=spec.max_virtual_time)
+    driver.simulator.run(until=spec.max_virtual_time)
     return finished
 
 
@@ -253,23 +189,24 @@ def run_workload(spec: WorkloadSpec, trace: bool = False) -> WorkloadResult:
     """Execute ``spec`` and return the collected :class:`WorkloadResult`."""
     simulator, network, processes, monitor = _build(spec, trace)
     scripts = generate_scripts(spec)
-    records: list[OperationRecord] = []
+    driver = Driver(simulator, metrics=MetricsCollector(network))
 
     if spec.isolated_operations:
-        isolated_costs, clean = _run_isolated(spec, simulator, network, processes, scripts, records)
+        isolated_costs, clean = _run_isolated(spec, driver, network, processes, scripts)
     else:
         isolated_costs = []
-        clean = _run_concurrent(spec, simulator, processes, scripts, records)
+        clean = _run_concurrent(spec, driver, processes, scripts)
 
-    history = History.from_records(records, initial_value=spec.initial_value)
+    history = History.from_records(driver.records, initial_value=spec.initial_value)
     return WorkloadResult(
         spec=spec,
         history=history,
-        records=records,
+        records=driver.records,
         simulator=simulator,
         network=network,
         processes=processes,
         monitor=monitor,
         isolated_costs=isolated_costs,
         finished_cleanly=clean,
+        metrics=driver.metrics.snapshot() if driver.metrics is not None else {},
     )

@@ -175,6 +175,41 @@ def kv_zipfian(
     )
 
 
+def kv_openloop(
+    num_keys: int = 32,
+    num_ops: int = 400,
+    arrival_rate: float = 8.0,
+    arrival: str = "poisson",
+    read_fraction: float = 0.9,
+    algorithm: str = "abd",
+    num_shards: int = 4,
+    replication: int = 3,
+    seed: int = 8,
+) -> KVWorkloadSpec:
+    """An open-loop keyed store workload: seeded Poisson (or uniform) arrivals.
+
+    Offered load (``arrival_rate`` operations per virtual-time unit) is
+    decoupled from service rate, so sweeping the rate produces a
+    throughput-vs-offered-load curve: below saturation the store completes
+    operations as fast as they arrive; above it, queueing delay on each
+    replica's sequential FIFO grows without bound.  Same seed, same arrival
+    times, same history — the repository-wide determinism contract.
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        arrival=arrival,
+        arrival_rate=arrival_rate,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
 def isolated_latency_probe(
     n: int = 5,
     algorithm: str = "two-bit",

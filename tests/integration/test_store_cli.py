@@ -1,4 +1,6 @@
-"""Integration tests for the ``repro store`` CLI subcommand."""
+"""Integration tests for the ``repro store`` and ``repro bench`` CLI subcommands."""
+
+import json
 
 import pytest
 
@@ -54,3 +56,40 @@ class TestStoreCli:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["store", "--algorithm", "bogus"])
+
+
+class TestOpenLoopCli:
+    def test_poisson_arrivals(self, capsys):
+        code = main(
+            ["store", "--ops", "80", "--keys", "8", "--arrival", "poisson", "--rate", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poisson arrivals @ 6.0" in out
+        assert "offered load" in out
+        assert "p99" in out  # metrics table rides along
+
+    def test_uniform_arrivals_deterministic(self, capsys):
+        argv = ["store", "--ops", "60", "--arrival", "uniform", "--rate", "4", "--seed", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert first == capsys.readouterr().out
+
+    def test_nonpositive_rate_rejected(self, capsys):
+        assert main(["store", "--ops", "10", "--arrival", "poisson", "--rate", "0"]) == 2
+        assert "arrival_rate" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def test_quick_bench_emits_baselines(self, capsys, tmp_path):
+        code = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store throughput" in out and "open-loop sweep" in out
+        store = json.loads((tmp_path / "BENCH_store_throughput.json").read_text())
+        assert store["mode"] == "quick"
+        assert store["batched"]["virtual_throughput"] > store["per_op"]["virtual_throughput"]
+        openloop = json.loads((tmp_path / "BENCH_openloop.json").read_text())
+        assert [entry["offered_load"] for entry in openloop["sweep"]] == [2.0, 8.0]
+        assert all(entry["p99"] >= entry["p50"] for entry in openloop["sweep"])

@@ -5,7 +5,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.sim.delays import FixedDelay, UniformDelay
-from repro.sim.network import Network
+from repro.sim.network import Network, Subnet
 from repro.sim.scheduler import Simulator
 
 from tests.sim.conftest import EchoProcess, RecorderProcess, build_recorders
@@ -191,6 +191,41 @@ class TestAccounting:
         snapshot = network.stats.snapshot()
         assert snapshot["messages_sent"] == 1
         assert isinstance(snapshot["by_type"], dict)
+
+    def test_subnet_records_shared_with_parent(self, simulator):
+        # With record_messages=True, a subnet's MessageRecords must land in
+        # the parent's records list so the aggregate bill (shared stats) and
+        # the record log agree.
+        parent = Network(simulator, delay_model=FixedDelay(1.0), record_messages=True)
+        subnet_a = Subnet(parent, name="a")
+        subnet_b = Subnet(parent, name="b")
+        build_recorders(simulator, subnet_a, 2)
+        build_recorders(simulator, subnet_b, 2)
+        subnet_a.send(0, 1, "on-a")
+        subnet_b.send(1, 0, "on-b")
+        simulator.run()
+        assert parent.stats.messages_sent == 2
+        assert len(parent.records) == 2
+        assert subnet_a.records is parent.records
+        assert subnet_b.records is parent.records
+        assert {record.message for record in parent.records} == {"on-a", "on-b"}
+
+    def test_instance_level_bit_accessors_still_counted(self, simulator, network):
+        # The per-class accessor cache must fall back to per-instance getattr
+        # when the *class* defines the accessor as a non-method (the generic
+        # path), preserving the original duck-typed contract.
+        class WeirdMessage:
+            control_bits = "not-callable"  # class attr, not a method
+
+            def data_bits(self):
+                return 4
+
+        build_recorders(simulator, network, 2)
+        network.send(0, 1, WeirdMessage())
+        simulator.run()
+        assert network.stats.control_bits_total == 0
+        assert network.stats.data_bits_total == 4
+        assert network.stats.by_type == {"WeirdMessage": 1}
 
 
 class TestTopologyHelpers:
