@@ -7,6 +7,8 @@ of a crash-prone asynchronous message-passing system:
 * the paper's two-bit-message SWMR atomic register (:mod:`repro.core`);
 * the ABD baseline family it is compared against (:mod:`repro.registers`);
 * a sharded multi-key store composing many registers (:mod:`repro.store`);
+* adversarial network conditions — healing partitions, delay storms,
+  seeded chaos plans (:mod:`repro.faults`);
 * atomicity / linearizability verification (:mod:`repro.verification`);
 * workload generation and execution (:mod:`repro.workloads`);
 * the Table-1 measurement harness (:mod:`repro.analysis`).
@@ -32,11 +34,13 @@ from repro.api import (
     create_store,
     run_workload,
 )
+from repro.faults import FaultPlan
 from repro.workloads.spec import WorkloadSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "FaultPlan",
     "KVStore",
     "RegisterCluster",
     "StoreConfig",

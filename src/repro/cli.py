@@ -24,6 +24,7 @@ smoke test in automation.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Optional, Sequence
 
@@ -56,6 +57,20 @@ def _add_common_workload_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="number of random reader crashes to inject (writer is spared)",
     )
+
+
+def _json_number(value: Optional[float], digits: int = 3) -> Optional[float]:
+    """Round a measurement for a JSON payload; non-finite values become ``None``.
+
+    ``json.dumps`` would happily serialize ``float("inf")`` as bare
+    ``Infinity`` — which is not JSON and breaks strict consumers — so every
+    number that can degenerate (zero-span throughput) passes through here,
+    and the dumps below use ``allow_nan=False`` so a regression fails loudly
+    at write time instead of corrupting the artifact.
+    """
+    if value is None or not math.isfinite(value):
+        return None
+    return round(value, digits)
 
 
 def _delay_model(name: str, seed: int):
@@ -370,7 +385,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return {
             "completed": len(result.completed_ops()),
             "virtual_makespan": round(result.virtual_makespan, 3),
-            "virtual_throughput": round(result.virtual_throughput(), 3),
+            "virtual_throughput": _json_number(result.virtual_throughput()),
             "wall_seconds": round(result.wall_seconds, 4),
             "messages": result.total_messages(),
             "latency": result.metrics["latency"]["all"],
@@ -389,7 +404,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "python": platform.python_version(),
     }
     store_path = out_dir / "BENCH_store_throughput.json"
-    store_path.write_text(json.dumps(store_payload, indent=1) + "\n")
+    store_path.write_text(json.dumps(store_payload, indent=1, allow_nan=False) + "\n")
     print(
         format_table(
             ["driving", "ops", "virtual makespan", "ops / virtual time"],
@@ -415,7 +430,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             {
                 "offered_load": rate,
                 "completed": len(result.completed_ops()),
-                "virtual_throughput": round(result.virtual_throughput(), 3),
+                "virtual_throughput": _json_number(result.virtual_throughput()),
                 "p50": round(latency["p50"], 3) if latency else None,
                 "p99": round(latency["p99"], 3) if latency else None,
             }
@@ -434,7 +449,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "python": platform.python_version(),
     }
     openloop_path = out_dir / "BENCH_openloop.json"
-    openloop_path.write_text(json.dumps(openloop_payload, indent=1) + "\n")
+    openloop_path.write_text(json.dumps(openloop_payload, indent=1, allow_nan=False) + "\n")
     print()
     print(
         format_table(
@@ -443,6 +458,173 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title=f"open-loop sweep ({mode}) -> {openloop_path}",
         )
     )
+    return 0
+
+
+def _chaos_schedules(quick: bool):
+    """The named fault schedules the chaos sweep crosses with seeds.
+
+    Each entry is ``(name, builder)`` where ``builder(seed)`` returns a
+    fully-seeded :class:`~repro.workloads.kv.KVWorkloadSpec` carrying its
+    fault plan.  Quick mode keeps CI smoke runs short (2 schedules).
+    """
+    from repro.faults import FaultPlan, PartitionSchedule, PartitionWindow, slow_the_writer
+    from repro.workloads.scenarios import chaos, kv_partitioned, kv_uniform
+
+    num_keys = 8 if quick else 16
+    num_ops = 80 if quick else 240
+
+    def partition_minority(seed: int):
+        return kv_partitioned(num_keys=num_keys, num_ops=num_ops, seed=seed)
+
+    def storm(seed: int):
+        spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=seed)
+        # Replica 0 hosts every key's writer: storm its links in each subnet.
+        return spec.with_(
+            fault_plan=slow_the_writer(writer_pid=0, factor=6.0, start=2.0, end=25.0)
+        )
+
+    def partition_writer(seed: int):
+        # Cut the writer replica off instead: puts stall until the heal,
+        # reads keep completing on the majority side.
+        spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=seed)
+        window = PartitionWindow.isolate((0,), spec.replication, start=3.0, heal=14.0)
+        plan = FaultPlan(
+            name="partition-writer", link_policies=(PartitionSchedule(windows=(window,)),)
+        )
+        return spec.with_(fault_plan=plan)
+
+    def chaos_random(seed: int):
+        return chaos(num_keys=num_keys, num_ops=num_ops, seed=seed)
+
+    schedules = [("kv-partitioned", partition_minority), ("delay-storm", storm)]
+    if not quick:
+        schedules.extend([("partition-writer", partition_writer), ("chaos", chaos_random)])
+    return schedules
+
+
+def _run_signature(result) -> list:
+    """Record-by-record fingerprint of a run (for reproducibility checks)."""
+    signature = []
+    for op in result.ops:
+        record = op.record
+        signature.append(
+            (
+                op.op_id,
+                op.kind.value,
+                op.key,
+                op.value,
+                op.failed,
+                None
+                if record is None
+                else (record.invoked_at, record.responded_at, repr(record.result)),
+            )
+        )
+    return signature
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep seeds x fault schedules; verify every run; emit ``BENCH_chaos.json``.
+
+    Every cell runs the per-key linearizability checker; the sweep also
+    re-runs its first cell and verifies the execution is reproducible
+    record-by-record.  The payload is strict JSON (``allow_nan=False``) so
+    downstream consumers can parse with ``parse_constant`` forbidden.
+    """
+    import json
+    import pathlib
+    import platform
+
+    from repro.workloads.kv import run_kv_workload
+
+    if args.seeds is not None and args.seeds < 1:
+        print(f"--seeds must be at least 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    quick = args.quick
+    seeds = list(range(args.seeds if args.seeds is not None else (2 if quick else 3)))
+    schedules = _chaos_schedules(quick)
+
+    runs = []
+    rows = []
+    failures = []
+    first_signature = None
+    for name, builder in schedules:
+        for seed in seeds:
+            spec = builder(seed)
+            result = run_kv_workload(spec)
+            report = result.check_atomicity(raise_on_violation=False)
+            if first_signature is None:
+                first_signature = (name, builder, seed, _run_signature(result))
+            completed = len(result.completed_ops())
+            failed = len(result.failed_ops())
+            entry = {
+                "schedule": name,
+                "seed": seed,
+                "fault_timeline": spec.fault_plan.timeline() if spec.fault_plan else [],
+                "server_crashes": [
+                    {"at": point.at_time, "shard": point.shard, "replica": point.replica}
+                    for point in spec.crash_points
+                ],
+                "completed": completed,
+                "failed": failed,
+                "atomic": report.ok,
+                "keys_checked": report.keys_checked,
+                "finished_cleanly": result.finished_cleanly,
+                "virtual_makespan": round(result.virtual_makespan, 3),
+                "virtual_throughput": _json_number(result.virtual_throughput()),
+                "messages": result.total_messages(),
+                "per_sender": result.store.stats.snapshot()["per_sender"],
+            }
+            runs.append(entry)
+            verdict = "ok" if report.ok and result.finished_cleanly else "FAIL"
+            if verdict != "ok":
+                failures.append(f"{name}/seed={seed}")
+            rows.append(
+                [
+                    name,
+                    seed,
+                    completed,
+                    failed,
+                    round(result.virtual_makespan, 1),
+                    "yes" if report.ok else "NO",
+                    verdict,
+                ]
+            )
+
+    # Reproducibility: the same seeded spec must replay record-by-record.
+    name, builder, seed, signature = first_signature
+    replay = _run_signature(run_kv_workload(builder(seed)))
+    reproducible = replay == signature
+    if not reproducible:
+        failures.append(f"{name}/seed={seed} not reproducible")
+
+    payload = {
+        "benchmark": "chaos_fault_schedule_sweep",
+        "mode": "quick" if quick else "full",
+        "seeds": seeds,
+        "schedules": [name for name, _ in schedules],
+        "reproducible": reproducible,
+        "all_atomic": all(entry["atomic"] for entry in runs),
+        "runs": runs,
+        "python": platform.python_version(),
+    }
+    chaos_path = out_dir / "BENCH_chaos.json"
+    chaos_path.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    print(
+        format_table(
+            ["schedule", "seed", "completed", "failed", "makespan", "atomic", "verdict"],
+            rows,
+            title=f"chaos sweep ({payload['mode']}) -> {chaos_path}",
+        )
+    )
+    print(f"reproducible (record-by-record): {'yes' if reproducible else 'NO'}")
+    if failures:
+        print("\nchaos sweep failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -534,6 +716,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     sub.set_defaults(handler=cmd_store)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="sweep seeds x fault schedules (partitions, storms) and verify every run",
+    )
+    sub.add_argument("--quick", action="store_true", help="2 seeds x 2 schedules for CI smoke")
+    sub.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="number of seeds per schedule (default: 2 quick, 3 full)",
+    )
+    sub.add_argument(
+        "--out-dir",
+        default=".",
+        dest="out_dir",
+        help="directory for BENCH_chaos.json (default: current directory)",
+    )
+    sub.set_defaults(handler=cmd_chaos)
 
     sub = subparsers.add_parser(
         "bench", help="run the perf suite and emit BENCH_*.json baselines"

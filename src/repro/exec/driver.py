@@ -112,6 +112,13 @@ class Driver:
     ) -> None:
         self.simulator = simulator
         self.metrics = metrics
+        #: Fault-plane awareness: when a fault plan with scheduled heals is
+        #: installed, this is set to an absolute virtual time a ``drive``
+        #: limit must not undercut (last heal + settle budget).  Without it,
+        #: a drive budget shorter than a partition window would truncate the
+        #: run — declaring operations stuck that are merely *held* until a
+        #: heal that is already scheduled to happen.
+        self.fault_horizon: Optional[float] = None
         #: Every submitted operation, in submission order.
         self.ops: List[ExecOp] = []
         #: Every issued operation's record, in issue order (history material).
@@ -214,9 +221,16 @@ class Driver:
         outstanding and a later ``drive`` may finish them) or the event queue
         drained with operations stuck — those are marked failed (this happens
         when a replica crashed mid-operation).
+
+        When a fault plan is installed, ``limit`` is raised to at least
+        :attr:`fault_horizon` so messages held by a partition window are
+        never mistaken for a stuck run — the heal is scheduled, and the
+        drive waits it out.
         """
         if predicate is None:
             predicate = lambda: self._outstanding == 0  # noqa: E731
+        if limit is not None and self.fault_horizon is not None and limit < self.fault_horizon:
+            limit = self.fault_horizon
         finished = self.simulator.run_until(predicate, limit=limit)
         if not finished and self._outstanding and self.simulator.pending_events == 0:
             self.fail_stuck()

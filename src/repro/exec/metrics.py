@@ -59,10 +59,18 @@ class MetricsCollector:
         self.failed = 0
         self.first_issue_at: Optional[float] = None
         self.last_completion_at: Optional[float] = None
+        # Pre-keyed for the classic kinds (so snapshots always report them),
+        # but open: note_completed accepts any OperationKind-like value and
+        # creates its bucket on first use.
         self._latencies: Dict[OperationKind, List[float]] = {
             OperationKind.READ: [],
             OperationKind.WRITE: [],
         }
+        #: Fault-timeline annotation (set when a fault plan is installed):
+        #: the plain-dict entries of :meth:`repro.faults.FaultPlan.timeline`,
+        #: embedded in snapshots so latency spikes can be read against the
+        #: partitions/storms/crashes that caused them.
+        self.fault_timeline: Optional[List[Dict[str, Any]]] = None
         self._messages_at_start = network.stats.messages_sent if network is not None else 0
         self._by_type_at_start = dict(network.stats.by_type) if network is not None else {}
 
@@ -77,7 +85,10 @@ class MetricsCollector:
         self.completed += 1
         self.last_completion_at = now
         if latency is not None:
-            self._latencies[kind].append(latency)
+            # setdefault, not direct indexing: operation kinds beyond
+            # READ/WRITE (scans, CAS extensions, ...) must grow a bucket,
+            # not raise KeyError on their first completion.
+            self._latencies.setdefault(kind, []).append(latency)
 
     def note_failed(self) -> None:
         self.failed += 1
@@ -87,8 +98,11 @@ class MetricsCollector:
     def latencies(self, kind: Optional[OperationKind] = None) -> List[float]:
         """Recorded latencies, optionally restricted to one operation kind."""
         if kind is not None:
-            return list(self._latencies[kind])
-        return self._latencies[OperationKind.READ] + self._latencies[OperationKind.WRITE]
+            return list(self._latencies.get(kind, []))
+        combined: List[float] = []
+        for values in self._latencies.values():
+            combined.extend(values)
+        return combined
 
     def virtual_throughput(self) -> float:
         """Completed operations per virtual-time unit (first issue -> last completion)."""
@@ -117,22 +131,38 @@ class MetricsCollector:
         }
 
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-dict summary for reports, the CLI and ``BENCH_*.json`` files."""
+        """Plain-dict summary for reports, the CLI and ``BENCH_*.json`` files.
+
+        Snapshots are the JSON boundary: non-finite numbers (a zero-span
+        run's infinite throughput) are sanitized to ``None`` here so every
+        consumer can ``json.dumps(..., allow_nan=False)`` — bare ``Infinity``
+        is not valid JSON and strict parsers reject it.
+        """
         messages = self.messages_sent()
+        throughput = self.virtual_throughput()
+        # One summary per kind present (READ/WRITE always reported, other
+        # kinds by their value name), plus the combined "all" row.
+        latency: Dict[str, Any] = {
+            "read": _latency_summary(self._latencies[OperationKind.READ]),
+            "write": _latency_summary(self._latencies[OperationKind.WRITE]),
+        }
+        for kind, values in self._latencies.items():
+            if kind in (OperationKind.READ, OperationKind.WRITE):
+                continue
+            latency[getattr(kind, "value", str(kind))] = _latency_summary(values)
+        latency["all"] = _latency_summary(self.latencies())
         snapshot: Dict[str, Any] = {
             "issued": self.issued,
             "completed": self.completed,
             "failed": self.failed,
-            "virtual_throughput": self.virtual_throughput(),
-            "latency": {
-                "read": _latency_summary(self._latencies[OperationKind.READ]),
-                "write": _latency_summary(self._latencies[OperationKind.WRITE]),
-                "all": _latency_summary(self.latencies()),
-            },
+            "virtual_throughput": throughput if math.isfinite(throughput) else None,
+            "latency": latency,
             "messages": {
                 "total": messages,
                 "per_completed_op": (messages / self.completed) if self.completed else None,
                 "by_type": self.messages_by_type(),
             },
         }
+        if self.fault_timeline is not None:
+            snapshot["faults"] = list(self.fault_timeline)
         return snapshot

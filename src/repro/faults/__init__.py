@@ -1,0 +1,46 @@
+"""Adversarial network conditions: the link-level fault plane.
+
+The simulator's model (DESIGN §1) gives reliable but *asynchronous*
+channels — delays are finite yet unbounded — so partitions that heal,
+per-link delay storms and asymmetric slowdowns are all legal executions the
+algorithms must survive with ``t < n/2`` crashes.  This package makes those
+executions declarative:
+
+* :class:`LinkPolicy` / :class:`CompositeLinkPolicy` — the per-``(src, dst)``
+  hook :meth:`~repro.sim.network.Network.send` consults;
+* :class:`PartitionWindow` / :class:`PartitionSchedule` — splits with
+  *mandatory finite heal times* (reliability preserved by construction);
+* :class:`DelayStorm` / :func:`asymmetric_link` — finite-window slowdowns;
+* :class:`FaultPlan` — link policies + an optional crash schedule, installed
+  through :class:`~repro.workloads.spec.WorkloadSpec.fault_plan`,
+  :class:`~repro.workloads.kv.KVWorkloadSpec.fault_plan` or
+  :meth:`~repro.store.store.KVStore.install_fault_plan`;
+* adversarial strategies — :func:`slow_the_writer`,
+  :func:`majority_minority_split`, :func:`crash_during_partition`,
+  :func:`random_fault_plan` (the seeded chaos family the ``repro chaos``
+  sweep explores).
+"""
+
+from repro.faults.adversary import (
+    crash_during_partition,
+    majority_minority_split,
+    random_fault_plan,
+    slow_the_writer,
+)
+from repro.faults.partitions import PartitionSchedule, PartitionWindow
+from repro.faults.plan import CompositeLinkPolicy, FaultPlan, LinkPolicy
+from repro.faults.storms import DelayStorm, asymmetric_link
+
+__all__ = [
+    "CompositeLinkPolicy",
+    "DelayStorm",
+    "FaultPlan",
+    "LinkPolicy",
+    "PartitionSchedule",
+    "PartitionWindow",
+    "asymmetric_link",
+    "crash_during_partition",
+    "majority_minority_split",
+    "random_fault_plan",
+    "slow_the_writer",
+]

@@ -147,21 +147,25 @@ class FailureInjector:
     def _install_message_triggered(self, event: CrashEvent) -> None:
         process = self.network.process(event.pid)
         threshold = event.after_messages_sent or 0
-
-        def observer(_sim: Simulator) -> None:
-            if process.crashed:
-                self.simulator.remove_observer(observer)
-                return
-            sent = self.network.stats.per_sender.get(event.pid, 0)
-            if sent >= threshold:
-                process.crash()
-                self.simulator.remove_observer(observer)
-
-        self.simulator.add_observer(observer)
         # Degenerate case: crash before sending anything.
         if threshold == 0:
             process.crash()
-            self.simulator.remove_observer(observer)
+            return
+        pid = event.pid
+        stats = self.network.stats
+
+        # A send hook (not a post-event observer): the crash fires *at* the
+        # k-th send, before the same event can emit the (k+1)-th — crashing a
+        # writer genuinely mid-broadcast.  The k-th message itself is already
+        # in flight (crashing does not retract messages); once crashed, the
+        # sender's Network.send is a no-op, so the hook goes inert and the
+        # crash fires exactly once.
+        def on_send(src: int, _dst: int, _message: object) -> None:
+            if src == pid and not process.crashed:
+                if stats.per_sender.get(pid, 0) >= threshold:
+                    process.crash()
+
+        self.network.add_send_hook(on_send)
 
 
 def random_crash_schedule(

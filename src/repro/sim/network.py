@@ -14,6 +14,14 @@ delivery time (the crashed process takes no more steps); a message already in
 flight *from* a process that subsequently crashes is still delivered (crashing
 does not retract messages).  A crashed process cannot initiate new sends.
 
+Adversarial-but-legal executions are produced by the **link-level fault
+plane** (:mod:`repro.faults`): an optional link policy installed on the
+network adjusts the sampled delay per ``(src, dst)`` message at send time
+(partitions-that-heal, delay storms, asymmetric slowdowns).  A policy must
+return a finite, non-negative delay — channels stay *reliable*; only the
+asynchrony is exercised, so every faulted execution is still one the paper's
+model permits.
+
 The network also maintains :class:`NetworkStats`: per-type message counts,
 control-bit and data-bit accounting, and per-operation attribution used by the
 Table-1 benchmarks.  Messages may implement two optional methods consumed by
@@ -28,6 +36,7 @@ the accounting layer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
@@ -78,6 +87,9 @@ def _data_bits(message: Any) -> int:
 
 #: Accessor modes cached per message class (see ``NetworkStats._accessors``).
 _ABSENT, _CALL, _GENERIC = 0, 1, 2
+
+#: Hoisted for the send hot path (``delay < _INF`` beats ``math.isfinite``).
+_INF = math.inf
 
 
 @dataclass
@@ -185,6 +197,7 @@ class NetworkStats:
             "data_bits_total": self.data_bits_total,
             "max_control_bits": self.max_control_bits,
             "by_type": dict(self.by_type),
+            "per_sender": dict(self.per_sender),
         }
 
 
@@ -306,6 +319,16 @@ class Network:
         # by tests to model adversarial (but still eventually-reliable)
         # schedules; returning False delays the message by re-sampling later.
         self._delivery_hooks: list[Callable[[int, int, Any], None]] = []
+        # Link-level fault plane (repro.faults): an object with an
+        # ``adjust(src, dst, now, delay) -> float`` method that reshapes the
+        # sampled delay per message.  ``None`` (the default) keeps the send
+        # path byte-identical to a fault-free run.
+        self.link_policy: Optional[Any] = None
+        # Send hooks fire after a message is recorded and scheduled (i.e. the
+        # message is already irrevocably in flight).  The message-count crash
+        # trigger uses this to kill a sender *immediately* after its k-th
+        # send, even mid-broadcast.  Hooks must not mutate the hook list.
+        self._send_hooks: list[Callable[[int, int, Any], None]] = []
 
     # ------------------------------------------------------------ membership
 
@@ -339,6 +362,14 @@ class Network:
         """Register a callback invoked at every delivery (for monitors/tests)."""
         self._delivery_hooks.append(hook)
 
+    def add_send_hook(self, hook: Callable[[int, int, Any], None]) -> None:
+        """Register a callback invoked right after every send is scheduled.
+
+        The message is already in flight when the hook runs (crashing the
+        sender from a hook does not retract it — matching the crash model).
+        """
+        self._send_hooks.append(hook)
+
     # --------------------------------------------------------------- sending
 
     def send(self, src: int, dst: int, message: Any) -> None:
@@ -371,6 +402,16 @@ class Network:
             raise ValueError(f"delay model produced negative delay {delay}")
         simulator = self.simulator
         send_time = simulator._now  # .now property, bypassed on the hot path
+        policy = self.link_policy
+        if policy is not None:
+            delay = policy.adjust(src, dst, send_time, delay)
+            # Reliability is non-negotiable: a policy that loses a message
+            # (infinite/NaN delay) or turns back time is a bug, not a fault.
+            if not 0.0 <= delay < _INF:
+                raise ValueError(
+                    f"link policy produced invalid delay {delay} for p{src}->p{dst}; "
+                    "policies must preserve reliability (finite, non-negative delays)"
+                )
         tracer = simulator.tracer
         if tracer.enabled:
             tracer.record(send_time, "send", src, dst, message)
@@ -379,6 +420,10 @@ class Network:
         # schedule_after guard would be redundant).
         delivery = _Delivery(self, channel, src, dst, message, send_time, control, data)
         simulator._queue.push(send_time + delay, delivery, delivery)
+        hooks = self._send_hooks
+        if hooks:
+            for hook in hooks:
+                hook(src, dst, message)
 
     def broadcast(self, src: int, message_factory: Callable[[int], Any]) -> None:
         """Send ``message_factory(dst)`` to every process except ``src``."""
@@ -430,3 +475,11 @@ class Subnet(Network):
         # (stats) and the log (records) describe the same set of messages.
         self.stats = parent.stats
         self.records = parent.records
+        # The fault plane is deployment-wide: a subnet created while a link
+        # policy is installed on the parent inherits it (lazy per-key
+        # deployments during a chaos run see the same partitions), and send
+        # hooks are shared by reference so hooks added to the parent later
+        # also observe subnet traffic.  Subnet pids are subnet-local, so a
+        # policy over replica indices applies uniformly to every key.
+        self.link_policy = parent.link_policy
+        self._send_hooks = parent._send_hooks

@@ -203,6 +203,8 @@ class KVStore:
         # queueing, completion chaining, stuck detection and metrics.
         self.target = StoreTarget(self)
         self.driver = Driver(self.simulator, metrics=MetricsCollector(self.network))
+        #: Installed link-level fault plan (see :meth:`install_fault_plan`).
+        self.fault_plan = None
 
     @property
     def ops(self) -> List[StoreOp]:
@@ -368,6 +370,40 @@ class KVStore:
         shard.crashed_replicas.add(replica)
         for deployment in shard.registers:
             deployment.processes[replica].crash()
+
+    def install_fault_plan(self, plan) -> None:
+        """Install a :class:`~repro.faults.FaultPlan`'s link policies store-wide.
+
+        The plan's policies are keyed by *replica index* (``0 ..
+        replication - 1``) and apply uniformly to every key's subnet —
+        partitioning replica 2 partitions it for every shard.  Registers
+        deployed later (keys touched for the first time mid-run) inherit the
+        policy at deployment, so lazy deployment and chaos compose.
+
+        Store-level plans carry link policies only: a server crash needs a
+        ``(shard, replica)`` coordinate, which is what
+        :class:`~repro.workloads.kv.CrashPoint` / :meth:`crash_server_at`
+        express.  Also raises the driver's drive horizon past the last
+        scheduled heal and annotates metrics snapshots with the fault
+        timeline.
+        """
+        if plan.crash_schedule is not None:
+            raise ValueError(
+                "store-level fault plans carry link policies only; schedule server "
+                "crashes with CrashPoint / crash_server_at (they need a shard "
+                "coordinate, not a pid)"
+            )
+        plan.validate(self.config.replication)
+        policy = plan.policy()
+        self.network.link_policy = policy
+        for deployment in self._registers.values():
+            deployment.subnet.link_policy = policy
+        self.fault_plan = plan
+        # Heal-aware driving: never let a per-drive budget truncate a run
+        # while messages are merely held until a scheduled heal.
+        self.driver.fault_horizon = plan.quiescent_after() + self.config.max_virtual_time
+        if self.driver.metrics is not None:
+            self.driver.metrics.fault_timeline = plan.timeline()
 
     def crash_server_at(
         self, time: float, shard_id: int, replica: int, allow_writer: bool = False

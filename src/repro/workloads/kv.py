@@ -22,6 +22,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.exec.clients import ARRIVAL_PROCESSES, OpenLoopClient, arrival_times
 from repro.exec.target import OpRequest
+from repro.faults.plan import FaultPlan
 from repro.registers.base import OperationKind
 from repro.sim.delays import DelayModel, FixedDelay
 from repro.sim.rng import make_rng
@@ -83,6 +84,12 @@ class KVWorkloadSpec:
         Message-delay model (default ``FixedDelay(1.0)``).
     crash_points:
         Server crashes to schedule before the run starts.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` of link policies keyed by
+        replica index (``0 .. replication - 1``), installed store-wide
+        before the run (see :meth:`~repro.store.store.KVStore.install_fault_plan`).
+        Store-level plans must not carry a crash schedule — use
+        ``crash_points`` for server crashes.
     seed:
         Master seed for key choice, op mix, arrival times and think
         randomness.
@@ -102,6 +109,7 @@ class KVWorkloadSpec:
     arrival_rate: float = 0.0
     delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
     crash_points: Tuple[CrashPoint, ...] = ()
+    fault_plan: Optional[FaultPlan] = None
     seed: int = 0
     initial_value: Any = "v0"
     max_virtual_time: float = 100_000.0
@@ -130,6 +138,13 @@ class KVWorkloadSpec:
             raise ValueError(
                 f"open-loop arrivals need a positive arrival_rate, got {self.arrival_rate}"
             )
+        if self.fault_plan is not None:
+            if self.fault_plan.crash_schedule is not None:
+                raise ValueError(
+                    "store-level fault plans carry link policies only; use "
+                    "crash_points for server crashes"
+                )
+            self.fault_plan.validate(self.replication)
 
     @property
     def open_loop(self) -> bool:
@@ -338,6 +353,8 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
     arrival has fired and completed.
     """
     store = KVStore(spec.store_config())
+    if spec.fault_plan is not None:
+        store.install_fault_plan(spec.fault_plan)
     for point in spec.crash_points:
         store.crash_server_at(
             point.at_time, point.shard, point.replica, allow_writer=point.allow_writer

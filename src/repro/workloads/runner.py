@@ -138,6 +138,11 @@ def _build(spec: WorkloadSpec, trace: bool) -> tuple[Simulator, Network, list[Re
     if spec.crash_schedule is not None:
         spec.crash_schedule.validate(spec.n)
         FailureInjector(simulator, network, spec.crash_schedule).install()
+    if spec.fault_plan is not None:
+        # Validated jointly with crash_schedule in WorkloadSpec.__post_init__.
+        network.link_policy = spec.fault_plan.policy()
+        if spec.fault_plan.crash_schedule is not None:
+            FailureInjector(simulator, network, spec.fault_plan.crash_schedule).install()
     return simulator, network, processes, monitor
 
 
@@ -155,6 +160,20 @@ def _run_isolated(
     ]
     clean = client.run_sequence(sequence)
     return client.costs, clean
+
+
+def _horizon(spec: WorkloadSpec) -> float:
+    """The run's virtual-time budget, heal-aware.
+
+    A fault plan's partitions hold messages until their (scheduled, finite)
+    heal times; the budget restarts after the last heal so a plan can never
+    be mistaken for a stuck run by a short ``max_virtual_time``.
+    """
+    if spec.fault_plan is None:
+        return spec.max_virtual_time
+    return max(
+        spec.max_virtual_time, spec.fault_plan.quiescent_after() + spec.max_virtual_time
+    )
 
 
 def _run_concurrent(
@@ -177,11 +196,12 @@ def _run_concurrent(
 
     # A client is "done" when it has no more operations to issue and its last
     # issued operation completed (or its process crashed).
+    limit = _horizon(spec)
     finished = driver.simulator.run_until(
-        lambda: all(client.done for client in clients), limit=spec.max_virtual_time
+        lambda: all(client.done for client in clients), limit=limit
     )
     # Drain the tail: forwarded WRITE messages, PROCEEDs in flight, etc.
-    driver.simulator.run(until=spec.max_virtual_time)
+    driver.simulator.run(until=limit)
     return finished
 
 
@@ -190,6 +210,9 @@ def run_workload(spec: WorkloadSpec, trace: bool = False) -> WorkloadResult:
     simulator, network, processes, monitor = _build(spec, trace)
     scripts = generate_scripts(spec)
     driver = Driver(simulator, metrics=MetricsCollector(network))
+    if spec.fault_plan is not None:
+        driver.fault_horizon = _horizon(spec)
+        driver.metrics.fault_timeline = spec.fault_plan.timeline()
 
     if spec.isolated_operations:
         isolated_costs, clean = _run_isolated(spec, driver, network, processes, scripts)

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults.adversary import random_fault_plan, slow_the_writer
+from repro.faults.partitions import PartitionSchedule, PartitionWindow
+from repro.faults.plan import FaultPlan
 from repro.sim.delays import ExponentialDelay, FixedDelay, UniformDelay
 from repro.sim.failures import CrashSchedule, random_crash_schedule
-from repro.workloads.kv import KVWorkloadSpec
+from repro.sim.rng import make_rng
+from repro.workloads.kv import CrashPoint, KVWorkloadSpec
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -206,6 +210,129 @@ def kv_openloop(
         arrival=arrival,
         arrival_rate=arrival_rate,
         delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def delay_storm(
+    n: int = 5,
+    algorithm: str = "two-bit",
+    num_writes: int = 12,
+    reads_per_reader: int = 12,
+    factor: float = 6.0,
+    storm_start: float = 3.0,
+    storm_end: float = 30.0,
+    seed: int = 9,
+) -> WorkloadSpec:
+    """Every link touching the writer crawls for a finite window.
+
+    The *slow-the-writer* adversary: reads stay fast while writes (and the
+    writer's acks) stretch by ``factor``, maximising read/write overlap —
+    the regime where a new/old inversion would surface if the protocol were
+    wrong.  Delays stay finite, so this is a legal asynchronous execution.
+    """
+    return WorkloadSpec(
+        n=n,
+        algorithm=algorithm,
+        num_writes=num_writes,
+        reads_per_reader=reads_per_reader,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        fault_plan=slow_the_writer(
+            writer_pid=0, factor=factor, start=storm_start, end=storm_end
+        ),
+        check_invariants=(algorithm == "two-bit"),
+        seed=seed,
+    )
+
+
+def kv_partitioned(
+    num_keys: int = 16,
+    num_ops: int = 300,
+    read_fraction: float = 0.9,
+    algorithm: str = "abd",
+    num_shards: int = 4,
+    replication: int = 3,
+    batch_size: int = 64,
+    isolate_replica: int = 2,
+    partition_start: float = 4.0,
+    heal_at: float = 18.0,
+    seed: int = 10,
+) -> KVWorkloadSpec:
+    """A keyed store workload through a partition that heals.
+
+    Replica ``isolate_replica`` of *every* shard is cut off from its peers
+    during ``[partition_start, heal_at)``: the majority side keeps serving,
+    reads routed to the isolated replica stall until the heal, then
+    complete.  Per-key atomicity must hold across the window — this is the
+    scenario the chaos sweep runs first.
+    """
+    window = PartitionWindow.isolate(
+        (isolate_replica,), replication, start=partition_start, heal=heal_at
+    )
+    plan = FaultPlan(
+        name="kv-partitioned", link_policies=(PartitionSchedule(windows=(window,)),)
+    )
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        fault_plan=plan,
+        seed=seed,
+    )
+
+
+def chaos(
+    num_keys: int = 12,
+    num_ops: int = 240,
+    read_fraction: float = 0.85,
+    algorithm: str = "abd",
+    num_shards: int = 4,
+    replication: int = 3,
+    batch_size: int = 64,
+    horizon: float = 40.0,
+    seed: int = 0,
+) -> KVWorkloadSpec:
+    """A seeded chaos run: random healing partition + storm + crash-in-window.
+
+    The link-level plan comes from :func:`~repro.faults.random_fault_plan`
+    (replica 0 — every key's writer — always stays on the majority side);
+    with some seeds a non-writer replica of one shard additionally crashes
+    *inside* the partition window, composing crash and partition faults.
+    Everything derives from ``seed``: same seed, same adversary, same run.
+    """
+    plan = random_fault_plan(replication, seed=seed, horizon=horizon, allow_crash=False)
+    rng = make_rng(seed, "chaos-crash-points", num_shards, replication)
+    crash_points: tuple[CrashPoint, ...] = ()
+    if replication >= 3 and rng.random() < 0.6:
+        partition = next(
+            policy for policy in plan.link_policies if isinstance(policy, PartitionSchedule)
+        )
+        window = partition.windows[0]
+        crash_points = (
+            CrashPoint(
+                at_time=round(rng.uniform(window.start, window.heal), 3),
+                shard=rng.randrange(num_shards),
+                replica=rng.randrange(1, replication),
+            ),
+        )
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        fault_plan=plan,
+        crash_points=crash_points,
         seed=seed,
     )
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.sim.delays import DelayModel, FixedDelay
 from repro.sim.failures import CrashSchedule
 
@@ -45,6 +46,11 @@ class WorkloadSpec:
         Message-delay model (defaults to ``FixedDelay(1.0)``).
     crash_schedule:
         Optional crash injection.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` — link-level adversarial
+        conditions (partitions that heal, delay storms) plus an optional
+        extra crash schedule, installed before the run starts.  The combined
+        crash load of ``crash_schedule`` and the plan must stay a minority.
     isolated_operations:
         When true the runner serialises *all* operations globally (one at a
         time, quiescing in between) so per-operation message counts and
@@ -78,6 +84,7 @@ class WorkloadSpec:
     reader_start_delay: float = 0.0
     delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
     crash_schedule: Optional[CrashSchedule] = None
+    fault_plan: Optional[FaultPlan] = None
     isolated_operations: bool = False
     multi_writer: bool = False
     check_invariants: bool = False
@@ -98,6 +105,18 @@ class WorkloadSpec:
                     raise ValueError(f"reader pid {pid} out of range for n={self.n}")
         if self.read_think_time < 0 or self.write_think_time < 0:
             raise ValueError("think times must be non-negative")
+        if self.fault_plan is not None:
+            self.fault_plan.validate(self.n)
+            if self.crash_schedule is not None and self.fault_plan.crash_schedule is not None:
+                combined = set(self.crash_schedule.crashed_pids) | set(
+                    self.fault_plan.crash_schedule.crashed_pids
+                )
+                max_faulty = (self.n - 1) // 2
+                if len(combined) > max_faulty:
+                    raise ValueError(
+                        f"crash_schedule and fault_plan together crash {len(combined)} of "
+                        f"{self.n} processes; the model requires at most t = {max_faulty}"
+                    )
 
     # ------------------------------------------------------------ conveniences
 

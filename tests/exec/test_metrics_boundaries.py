@@ -1,0 +1,86 @@
+"""Snapshot-boundary fixes: strict JSON, open operation kinds, fault timelines."""
+
+import json
+from enum import Enum
+
+import pytest
+
+from repro.exec.metrics import MetricsCollector
+from repro.registers.base import OperationKind
+from repro.sim.network import NetworkStats
+
+
+def strict_loads(text: str):
+    def forbid(name):
+        raise ValueError(f"non-finite JSON constant {name!r}")
+
+    return json.loads(text, parse_constant=forbid)
+
+
+class TestThroughputSanitization:
+    def test_zero_span_throughput_is_null_in_snapshot(self):
+        collector = MetricsCollector()
+        collector.note_issued(5.0)
+        collector.note_completed(OperationKind.READ, 0.0, 5.0)
+        assert collector.virtual_throughput() == float("inf")  # raw value unchanged
+        snapshot = collector.snapshot()
+        assert snapshot["virtual_throughput"] is None
+        payload = json.dumps(snapshot, allow_nan=False)
+        assert strict_loads(payload)["virtual_throughput"] is None
+
+    def test_normal_throughput_survives(self):
+        collector = MetricsCollector()
+        collector.note_issued(1.0)
+        collector.note_completed(OperationKind.READ, 1.0, 3.0)
+        assert collector.snapshot()["virtual_throughput"] == pytest.approx(0.5)
+
+
+class TestOpenOperationKinds:
+    def test_new_kind_does_not_raise_and_is_summarized(self):
+        class ExtraKind(str, Enum):
+            SCAN = "scan"
+
+        collector = MetricsCollector()
+        collector.note_issued(0.0)
+        collector.note_completed(ExtraKind.SCAN, 2.0, 2.0)  # pre-fix: KeyError
+        collector.note_completed(OperationKind.READ, 1.0, 3.0)
+        snapshot = collector.snapshot()
+        assert snapshot["latency"]["scan"]["count"] == 1
+        assert snapshot["latency"]["all"]["count"] == 2
+        assert collector.latencies(ExtraKind.SCAN) == [2.0]
+        assert sorted(collector.latencies()) == [1.0, 2.0]
+
+    def test_unused_kind_returns_empty(self):
+        collector = MetricsCollector()
+        assert collector.latencies(OperationKind.WRITE) == []
+
+
+class TestNetworkStatsSnapshot:
+    def test_snapshot_includes_per_sender(self):
+        stats = NetworkStats()
+        stats.record_send(0, "a")
+        stats.record_send(0, "b")
+        stats.record_send(2, "c")
+        snapshot = stats.snapshot()
+        assert snapshot["per_sender"] == {0: 2, 2: 1}
+        # And it is a copy, not the live dict.
+        snapshot["per_sender"][0] = 99
+        assert stats.per_sender[0] == 2
+
+    def test_snapshot_round_trips_as_strict_json(self):
+        stats = NetworkStats()
+        stats.record_send(1, "x")
+        payload = json.dumps(stats.snapshot(), allow_nan=False)
+        assert strict_loads(payload)["per_sender"] == {"1": 1}
+
+
+class TestFaultTimelineAnnotation:
+    def test_absent_without_a_plan(self):
+        assert "faults" not in MetricsCollector().snapshot()
+
+    def test_present_when_installed(self):
+        collector = MetricsCollector()
+        collector.fault_timeline = [{"fault": "partition", "start": 1.0, "heal": 5.0}]
+        snapshot = collector.snapshot()
+        assert snapshot["faults"] == [{"fault": "partition", "start": 1.0, "heal": 5.0}]
+        json.dumps(snapshot, allow_nan=False)

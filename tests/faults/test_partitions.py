@@ -1,0 +1,134 @@
+"""Unit tests for partition windows/schedules and their network integration."""
+
+import pytest
+
+from repro.faults.partitions import PartitionSchedule, PartitionWindow
+from repro.sim.delays import FixedDelay
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+from tests.sim.conftest import build_recorders
+
+
+def window(groups=((0,), (1, 2)), start=0.0, heal=10.0) -> PartitionWindow:
+    return PartitionWindow(groups=groups, start=start, heal=heal)
+
+
+class TestPartitionWindow:
+    def test_heal_is_mandatory_and_finite(self):
+        with pytest.raises(ValueError, match="must heal"):
+            window(heal=float("inf"))
+
+    def test_heal_must_follow_start(self):
+        with pytest.raises(ValueError, match="after its start"):
+            window(start=5.0, heal=5.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            window(start=-1.0)
+
+    def test_groups_must_be_disjoint_and_nonempty(self):
+        with pytest.raises(ValueError, match="more than one"):
+            window(groups=((0, 1), (1, 2)))
+        with pytest.raises(ValueError, match="non-empty"):
+            window(groups=((0,), ()))
+        with pytest.raises(ValueError, match="at least two groups"):
+            window(groups=((0, 1, 2),))
+
+    def test_blocks_cross_group_only(self):
+        w = window(groups=((0,), (1, 2)))
+        assert w.blocks(0, 1) and w.blocks(1, 0) and w.blocks(2, 0)
+        assert not w.blocks(1, 2) and not w.blocks(2, 1)
+
+    def test_unlisted_pids_are_unaffected(self):
+        w = window(groups=((0,), (1,)))
+        assert not w.blocks(0, 5) and not w.blocks(5, 0) and not w.blocks(5, 6)
+
+    def test_isolate_builds_two_sides(self):
+        w = PartitionWindow.isolate((2,), 3, start=1.0, heal=4.0)
+        assert w.groups == ((2,), (0, 1))
+        with pytest.raises(ValueError, match="empty side"):
+            PartitionWindow.isolate((0, 1, 2), 3, start=1.0, heal=4.0)
+
+
+class TestPartitionSchedule:
+    def test_needs_at_least_one_window(self):
+        with pytest.raises(ValueError, match="at least one window"):
+            PartitionSchedule(windows=())
+
+    def test_validate_rejects_out_of_range_pids(self):
+        schedule = PartitionSchedule(windows=(window(groups=((0,), (7,))),))
+        with pytest.raises(ValueError, match="unknown process p7"):
+            schedule.validate(3)
+        schedule.validate(8)
+
+    def test_adjust_holds_cross_group_messages_until_heal(self):
+        schedule = PartitionSchedule(windows=(window(groups=((0,), (1,)), start=2.0, heal=10.0),))
+        # Inside the window: residual-to-heal is added to the base delay.
+        assert schedule.adjust(0, 1, 5.0, 1.5) == pytest.approx(5.0 + 1.5)
+        # Outside the window (before start / at heal) nothing changes.
+        assert schedule.adjust(0, 1, 1.0, 1.5) == 1.5
+        assert schedule.adjust(0, 1, 10.0, 1.5) == 1.5
+        # Intra-group traffic is never touched.
+        assert schedule.adjust(1, 1, 5.0, 1.5) == 1.5
+
+    def test_overlapping_windows_compound_but_stay_finite(self):
+        schedule = PartitionSchedule(
+            windows=(
+                window(groups=((0,), (1,)), start=0.0, heal=10.0),
+                window(groups=((0,), (1,)), start=5.0, heal=20.0),
+            )
+        )
+        adjusted = schedule.adjust(0, 1, 6.0, 1.0)
+        assert adjusted == pytest.approx((10.0 - 6.0) + (20.0 - 6.0) + 1.0)
+
+    def test_quiescent_after_is_last_heal(self):
+        schedule = PartitionSchedule(
+            windows=(window(heal=10.0), window(start=12.0, heal=30.0))
+        )
+        assert schedule.quiescent_after() == 30.0
+
+
+class TestNetworkIntegration:
+    def test_held_message_delivers_right_after_heal(self):
+        simulator = Simulator()
+        network = Network(simulator, delay_model=FixedDelay(1.0), record_messages=True)
+        processes = build_recorders(simulator, network, 2)
+        network.link_policy = PartitionSchedule(
+            windows=(window(groups=((0,), (1,)), start=0.0, heal=10.0),)
+        )
+        network.send(0, 1, "held")
+        simulator.drain()
+        record = network.records[0]
+        assert record.delivered
+        assert record.delivery_time == pytest.approx(11.0)  # heal + base delay
+        assert processes[1].received == [(0, "held")]
+
+    def test_traffic_after_heal_is_unaffected(self):
+        simulator = Simulator()
+        network = Network(simulator, delay_model=FixedDelay(1.0), record_messages=True)
+        build_recorders(simulator, network, 2)
+        network.link_policy = PartitionSchedule(
+            windows=(window(groups=((0,), (1,)), start=0.0, heal=10.0),)
+        )
+        simulator.schedule_at(12.0, lambda: network.send(0, 1, "late"))
+        simulator.drain()
+        assert network.records[0].delivery_time == pytest.approx(13.0)
+
+    def test_invalid_policy_delay_is_rejected(self):
+        class Lossy:
+            def adjust(self, src, dst, now, delay):
+                return float("inf")
+
+        simulator = Simulator()
+        network = Network(simulator, delay_model=FixedDelay(1.0))
+        build_recorders(simulator, network, 2)
+        network.link_policy = Lossy()
+        with pytest.raises(ValueError, match="preserve reliability"):
+            network.send(0, 1, "dropped?")
+
+    def test_no_policy_keeps_send_path_identical(self):
+        simulator = Simulator()
+        network = Network(simulator, delay_model=FixedDelay(1.0), record_messages=True)
+        build_recorders(simulator, network, 2)
+        network.send(0, 1, "plain")
+        simulator.drain()
+        assert network.records[0].delivery_time == pytest.approx(1.0)

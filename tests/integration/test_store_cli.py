@@ -87,9 +87,16 @@ class TestBenchCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "store throughput" in out and "open-loop sweep" in out
-        store = json.loads((tmp_path / "BENCH_store_throughput.json").read_text())
+        def strict_loads(path):
+            def forbid(name):
+                raise AssertionError(f"non-finite JSON constant {name!r} in {path.name}")
+
+            return json.loads(path.read_text(), parse_constant=forbid)
+
+        # Strict parse: bare Infinity/NaN (invalid JSON) must never appear.
+        store = strict_loads(tmp_path / "BENCH_store_throughput.json")
         assert store["mode"] == "quick"
         assert store["batched"]["virtual_throughput"] > store["per_op"]["virtual_throughput"]
-        openloop = json.loads((tmp_path / "BENCH_openloop.json").read_text())
+        openloop = strict_loads(tmp_path / "BENCH_openloop.json")
         assert [entry["offered_load"] for entry in openloop["sweep"]] == [2.0, 8.0]
         assert all(entry["p99"] >= entry["p50"] for entry in openloop["sweep"])

@@ -109,6 +109,68 @@ class TestFailureInjector:
         assert processes[0].crashed
 
 
+class TestAfterMessagesTrigger:
+    """The k-th-send trigger must fire exactly once, *at* the k-th send."""
+
+    def test_fires_mid_event_immediately_after_kth_send(self, simulator, network):
+        # All sends happen inside ONE event (a broadcast-like burst): the
+        # crash must land between the 2nd and 3rd send, not after the event.
+        processes = build_recorders(simulator, network, 3)
+        FailureInjector(simulator, network, CrashSchedule.after_messages({0: 2})).install()
+
+        def burst():
+            processes[0].send(1, "m1")
+            processes[0].send(2, "m2")  # k-th send: crash fires here
+            processes[0].send(1, "m3")  # must be suppressed
+            processes[0].send(2, "m4")  # must be suppressed
+
+        simulator.schedule_at(1.0, burst)
+        simulator.drain()
+        assert processes[0].crashed
+        assert processes[0].crash_time == 1.0
+        assert network.stats.messages_sent == 2
+        # The k-th message itself was already in flight: it is delivered.
+        assert (0, "m2") in processes[2].received
+
+    def test_fires_exactly_once(self, simulator, network):
+        processes = build_recorders(simulator, network, 3)
+        FailureInjector(simulator, network, CrashSchedule.after_messages({1: 1})).install()
+        processes[1].send(0, "only")
+        first_crash_time = processes[1].crash_time
+        assert processes[1].crashed and first_crash_time == simulator.now
+        # Later traffic from other processes must not re-trigger anything.
+        processes[0].send(2, "unrelated")
+        simulator.drain()
+        assert processes[1].crash_time == first_crash_time
+        assert network.stats.per_sender.get(1, 0) == 1
+
+    def test_kth_send_inside_a_partition_window(self, simulator, network):
+        # Partitions hold deliveries, not sends: the trigger still fires at
+        # the k-th send even though the messages are in a held window, and
+        # the in-flight messages land after the heal (crash does not retract).
+        from repro.faults.partitions import PartitionSchedule, PartitionWindow
+
+        processes = build_recorders(simulator, network, 3)
+        network.link_policy = PartitionSchedule(
+            windows=(PartitionWindow.isolate((0,), 3, start=0.0, heal=20.0),)
+        )
+        FailureInjector(simulator, network, CrashSchedule.after_messages({0: 2})).install()
+
+        def burst():
+            processes[0].send(1, "p1")
+            processes[0].send(2, "p2")  # k-th send, inside the window
+            processes[0].send(1, "p3")  # suppressed by the crash
+
+        simulator.schedule_at(5.0, burst)
+        simulator.drain()
+        assert processes[0].crashed and processes[0].crash_time == 5.0
+        assert network.stats.messages_sent == 2
+        # Held messages survive the sender's crash and deliver after the heal.
+        assert processes[1].received == [(0, "p1")]
+        assert processes[2].received == [(0, "p2")]
+        assert simulator.now >= 20.0
+
+
 class TestRandomSchedules:
     def test_reproducible_for_same_seed(self):
         a = random_crash_schedule(n=9, seed=42)
