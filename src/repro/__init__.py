@@ -5,6 +5,8 @@ The library implements, on top of a deterministic discrete-event simulation
 of a crash-prone asynchronous message-passing system:
 
 * the paper's two-bit-message SWMR atomic register (:mod:`repro.core`);
+* a shared quorum phase engine every broadcast/collect protocol is built
+  from (:mod:`repro.quorum`);
 * the ABD baseline family it is compared against (:mod:`repro.registers`);
 * a sharded multi-key store composing many registers (:mod:`repro.store`);
 * adversarial network conditions — healing partitions, delay storms,
@@ -29,6 +31,7 @@ from repro.api import (
     RegisterCluster,
     StoreConfig,
     available_algorithms,
+    available_scenarios,
     build_table1,
     create_register,
     create_store,
@@ -37,7 +40,7 @@ from repro.api import (
 from repro.faults import FaultPlan
 from repro.workloads.spec import WorkloadSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FaultPlan",
@@ -46,6 +49,7 @@ __all__ = [
     "StoreConfig",
     "WorkloadSpec",
     "available_algorithms",
+    "available_scenarios",
     "build_table1",
     "create_register",
     "create_store",

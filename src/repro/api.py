@@ -32,6 +32,7 @@ from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
 from repro.store.store import KVStore, StoreConfig, create_store
 from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.scenarios import available_scenarios, get_scenario
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
@@ -42,9 +43,11 @@ __all__ = [
     "WorkloadResult",
     "WorkloadSpec",
     "available_algorithms",
+    "available_scenarios",
     "build_table1",
     "create_register",
     "create_store",
+    "get_scenario",
     "run_workload",
 ]
 

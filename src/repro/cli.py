@@ -101,14 +101,45 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str) -> WorkloadSpec:
 
 
 def cmd_algorithms(_args: argparse.Namespace) -> int:
-    """List the registered register algorithms."""
+    """List the registered register algorithms with their capability flags."""
     from repro.registers.registry import get_algorithm
 
     rows = []
     for name in available_algorithms():
         algorithm = get_algorithm(name)
-        rows.append([name, "yes" if algorithm.supports_multi_writer else "no", algorithm.description])
-    print(format_table(["name", "multi-writer", "description"], rows, title="Registered algorithms"))
+        rows.append(
+            [
+                name,
+                "MWMR" if algorithm.supports_multi_writer else "SWMR",
+                "bounded" if algorithm.bounded_control_bits else "unbounded",
+                algorithm.description,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "writers", "control bits", "description"],
+            rows,
+            title="Registered algorithms",
+        )
+    )
+    return 0
+
+
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    """List the canned workload scenarios (register + store)."""
+    from repro.workloads.scenarios import SCENARIOS
+
+    rows = [
+        [info.name, info.kind, info.description]
+        for info in SCENARIOS.values()
+    ]
+    print(
+        format_table(
+            ["name", "kind", "description"],
+            rows,
+            title="Workload scenarios",
+        )
+    )
     return 0
 
 
@@ -251,6 +282,22 @@ def cmd_store(args: argparse.Namespace) -> int:
     from repro.workloads.scenarios import kv_uniform, kv_zipfian
 
     builder = kv_zipfian if args.dist == "zipfian" else kv_uniform
+    shard_algorithms = None
+    if args.algorithms:
+        names = tuple(name.strip() for name in args.algorithms.split(",") if name.strip())
+        if not names:
+            print("--algorithms needs at least one algorithm name", file=sys.stderr)
+            return 2
+        unknown = [name for name in names if name not in available_algorithms()]
+        if unknown:
+            print(
+                f"unknown algorithm(s) {unknown} in --algorithms; "
+                f"available: {available_algorithms()}",
+                file=sys.stderr,
+            )
+            return 2
+        # Round-robin the listed algorithms over the shards.
+        shard_algorithms = tuple(names[shard % len(names)] for shard in range(args.shards))
     try:
         spec = builder(
             num_keys=args.keys,
@@ -262,6 +309,10 @@ def cmd_store(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             seed=args.seed,
         )
+        if shard_algorithms is not None:
+            spec = spec.with_(shard_algorithms=shard_algorithms)
+        if args.no_coalesce:
+            spec = spec.with_(coalesce=False)
         if args.arrival != "closed":
             # Open-loop driving: the same key/op stream, arriving at seeded
             # times with mean rate --rate instead of batched submission.
@@ -310,6 +361,20 @@ def cmd_store(args: argparse.Namespace) -> int:
     reads = sum(1 for op in completed if op.kind is OperationKind.READ)
     rows = [
         ["keys / shards / replication", f"{args.keys} / {args.shards} / {args.replication}"],
+        [
+            "per-shard algorithms",
+            ", ".join(
+                f"s{shard}={name}" for shard, name in enumerate(spec.shard_algorithms)
+            )
+            if spec.shard_algorithms
+            else args.algorithm,
+        ],
+        [
+            "message coalescing",
+            f"on ({result.store.stats.messages_coalesced} coalesced)"
+            if spec.coalesce
+            else "off",
+        ],
         ["operations completed", f"{len(completed)} ({reads} reads)"],
         ["operations failed", len(result.failed_ops())],
         ["server crashes fired", f"{crashes_fired} of {args.crashes} requested"],
@@ -636,8 +701,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    sub = subparsers.add_parser("algorithms", help="list registered register algorithms")
+    sub = subparsers.add_parser(
+        "algorithms", help="list registered register algorithms and their capabilities"
+    )
     sub.set_defaults(handler=cmd_algorithms)
+
+    sub = subparsers.add_parser(
+        "scenarios", help="list canned workload scenarios (register + store)"
+    )
+    sub.set_defaults(handler=cmd_scenarios)
 
     sub = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     sub.add_argument("--n", type=int, default=5)
@@ -713,6 +785,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="crash one non-writer replica of this many distinct shards mid-run",
+    )
+    sub.add_argument(
+        "--algorithms",
+        default="",
+        help=(
+            "comma-separated register algorithms mapped round-robin onto shards "
+            "(mixed-algorithm store; overrides --algorithm)"
+        ),
+    )
+    sub.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        dest="no_coalesce",
+        help="disable same-instant message coalescing (one heap event per message)",
     )
     sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     sub.set_defaults(handler=cmd_store)

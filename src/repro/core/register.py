@@ -28,6 +28,7 @@ TWO_BIT_ALGORITHM = RegisterAlgorithm(
     description="Mostefaoui-Raynal 2016: four message types, two control bits per message",
     process_factory=TwoBitRegisterProcess,
     supports_multi_writer=False,
+    bounded_control_bits=True,
 )
 
 
@@ -89,6 +90,7 @@ def build_two_bit_cluster(
     trace: bool = False,
     writer_fast_read: bool = False,
     t: Optional[int] = None,
+    coalesce: bool = False,
 ) -> TwoBitCluster:
     """Build an ``n``-process simulated cluster running the two-bit algorithm.
 
@@ -115,9 +117,12 @@ def build_two_bit_cluster(
         shortcut the paper mentions).
     t:
         Override the tolerated number of crashes (defaults to ``(n-1)//2``).
+    coalesce:
+        Pack same-instant deliveries into shared heap events (off by default
+        so single-register runs replay their pinned schedules exactly).
     """
     simulator = Simulator(tracer=Tracer(enabled=trace))
-    network = Network(simulator, delay_model=delay_model)
+    network = Network(simulator, delay_model=delay_model, coalesce=coalesce)
 
     def factory(pid: int, **kwargs: Any) -> TwoBitRegisterProcess:
         return TwoBitRegisterProcess(pid=pid, writer_fast_read=writer_fast_read, **kwargs)

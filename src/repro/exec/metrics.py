@@ -6,7 +6,13 @@ are issued, complete or fail, and the collector turns that stream into the
 numbers the analysis layer and the CLI report — latency percentiles
 (p50/p95/p99), virtual-time throughput, and per-kind message attribution
 (operation kinds for latency, wire message types for the bill, taken from the
-shared :class:`~repro.sim.network.NetworkStats`).
+shared :class:`~repro.sim.network.NetworkStats`).  All message numbers are
+**logical** counts: network-level coalescing packs same-instant deliveries
+into shared heap events but bills every message individually — coalescing
+itself never adds a message to or drops one from a collector window (any
+difference between coalesced and uncoalesced totals can only come from the
+protocol reacting to the legal intra-instant reordering, never from the
+accounting).
 
 Kept dependency-free of :mod:`repro.analysis` (which imports the workload
 layer, which imports this package) — the percentile helper is local.

@@ -19,6 +19,14 @@ delays, so every guarantee the algorithms give under ``t < n/2`` crashes
 Policies are **pure**: ``adjust`` depends only on ``(src, dst, now, delay)``,
 never on hidden RNG state, so the same plan applied to the same seeded run
 reproduces the same execution record-by-record.
+
+**Interplay with message coalescing.**  ``Network.send`` consults the link
+policy *per logical message, before* the coalescing key is computed, so with
+coalescing enabled (the store's default) policies still see and reshape
+every individual message: a partition-held message is simply scheduled at
+its healed delivery instant and coalesces with whatever else arrives there.
+Coalescing can never merge messages a policy separated, nor hide one from a
+policy.
 """
 
 from __future__ import annotations

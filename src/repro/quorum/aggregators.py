@@ -1,0 +1,76 @@
+"""Pluggable per-phase reply reductions.
+
+A quorum phase collects *one reply per responder* (later duplicates are
+ignored — exactly the ``src not in replies`` check the hand-rolled loops
+performed) and reduces the payloads when the quorum is reached.  The two
+reductions the register algorithms need are provided here; new algorithms can
+subclass :class:`ReplyAggregator` for richer ones (vector collection, voting,
+...).
+
+Replies are kept in a ``dict`` keyed by responder pid; insertion order (= the
+deterministic reply arrival order, the sender's own reply first) is exactly
+the iteration order the pre-engine code saw, so reductions that break ties by
+"first seen" are history-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class ReplyAggregator:
+    """Accumulates one reply per responder; subclasses define the reduction."""
+
+    __slots__ = ("replies",)
+
+    def __init__(self) -> None:
+        #: Responder pid -> reply payload, in arrival order (first reply wins).
+        self.replies: Dict[int, Any] = {}
+
+    def accept(self, src: int, payload: Any) -> bool:
+        """Record ``src``'s reply; duplicates are ignored (returns False)."""
+        if src in self.replies:
+            return False
+        self.replies[src] = payload
+        return True
+
+    @property
+    def responders(self) -> int:
+        """Number of distinct processes that have replied."""
+        return len(self.replies)
+
+    def result(self) -> Any:
+        """The aggregated value once a quorum is reached (None by default)."""
+        return None
+
+
+class AckCounter(ReplyAggregator):
+    """Pure acknowledgement counting — payloads are ignored."""
+
+    __slots__ = ()
+
+    def result(self) -> int:
+        return self.responders
+
+
+class MaxReply(ReplyAggregator):
+    """Keeps every reply and returns the maximum payload.
+
+    ``key`` mirrors ``max(..., key=...)``: with a key function, ties are
+    broken by arrival order (first maximal reply wins) — the exact semantics
+    of the pre-engine ``max(replies.values(), key=lambda pair: pair[0])``
+    selection, which must be preserved for history equivalence.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Optional[Callable[[Any], Any]] = None) -> None:
+        super().__init__()
+        self.key = key
+
+    def result(self) -> Any:
+        if not self.replies:
+            raise ValueError("cannot aggregate an empty reply set")
+        if self.key is None:
+            return max(self.replies.values())
+        return max(self.replies.values(), key=self.key)

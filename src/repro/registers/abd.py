@@ -27,40 +27,31 @@ information**: every ``WRITE``, reply and write-back carries a sequence
 number that grows with the number of writes, so message size is unbounded
 (Table 1, line 3).  The message classes below report their control bits
 accordingly so the Table-1 harness can *measure* the growth.
+
+Both phases of both operations run on the shared quorum phase engine
+(:mod:`repro.quorum`): each phase is one ``start_phase`` broadcast/collect
+call, and reply handling routes through the engine's stale-phase guard.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from operator import itemgetter
+from typing import Any, Callable
 
-from repro.registers.base import OperationRecord, RegisterAlgorithm, RegisterProcess
-from repro.sim.network import Network
-from repro.sim.scheduler import Simulator
+from repro.quorum.aggregators import MaxReply
+from repro.quorum.engine import PhaseRegisterProcess
+from repro.registers.base import OperationRecord, RegisterAlgorithm
+from repro.registers.costmodels import int_bits, value_bits
 
 #: Number of distinct message types used by this ABD implementation.
 ABD_MESSAGE_TYPES = 6
 #: Bits needed to encode the message type alone.
 ABD_TYPE_BITS = 3
 
-
-def _int_bits(value: int) -> int:
-    """Bits needed to represent a non-negative integer (at least 1)."""
-    return max(1, int(value).bit_length())
-
-
-def _value_bits(value: Any) -> int:
-    if value is None:
-        return 0
-    if isinstance(value, bool):
-        return 1
-    if isinstance(value, int):
-        return _int_bits(abs(value))
-    if isinstance(value, float):
-        return 64
-    if isinstance(value, (str, bytes)):
-        return 8 * len(value)
-    return 8 * len(repr(value))
+#: Backwards-compatible aliases — the helpers' home is ``registers.costmodels``.
+_int_bits = int_bits
+_value_bits = value_bits
 
 
 @dataclass(frozen=True)
@@ -84,10 +75,10 @@ class AbdWrite(AbdMessage):
     type_name = "ABD_WRITE"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.seq)
+        return ABD_TYPE_BITS + int_bits(self.seq)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -99,7 +90,7 @@ class AbdWriteAck(AbdMessage):
     type_name = "ABD_WRITE_ACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.seq)
+        return ABD_TYPE_BITS + int_bits(self.seq)
 
 
 @dataclass(frozen=True)
@@ -111,7 +102,7 @@ class AbdReadQuery(AbdMessage):
     type_name = "ABD_READ_QUERY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn)
+        return ABD_TYPE_BITS + int_bits(self.rsn)
 
 
 @dataclass(frozen=True)
@@ -125,10 +116,10 @@ class AbdReadReply(AbdMessage):
     type_name = "ABD_READ_REPLY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.seq)
+        return ABD_TYPE_BITS + int_bits(self.rsn) + int_bits(self.seq)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -142,10 +133,10 @@ class AbdWriteBack(AbdMessage):
     type_name = "ABD_WRITE_BACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.seq)
+        return ABD_TYPE_BITS + int_bits(self.rsn) + int_bits(self.seq)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -157,35 +148,26 @@ class AbdWriteBackAck(AbdMessage):
     type_name = "ABD_WRITE_BACK_ACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn)
+        return ABD_TYPE_BITS + int_bits(self.rsn)
 
 
-class AbdRegisterProcess(RegisterProcess):
-    """One process of the ABD SWMR register (replica + optional writer/reader roles)."""
+class AbdRegisterProcess(PhaseRegisterProcess):
+    """One process of the ABD SWMR register (replica + optional writer/reader roles).
 
-    def __init__(
-        self,
-        pid: int,
-        simulator: Simulator,
-        network: Network,
-        writer_pid: int,
-        t: Optional[int] = None,
-        initial_value: Any = None,
-    ) -> None:
-        super().__init__(pid, simulator, network, writer_pid, t, initial_value)
+    Phase slots: ``"write"`` (ack quorum), ``"read"`` (query quorum, kept
+    open through the write-back so late replies land exactly as before the
+    engine port), ``"writeback"`` (write-back ack quorum).
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
         # Replica state: the highest (seq, value) pair seen so far.
         self.seq = 0
-        self.value = initial_value
+        self.value = self.initial_value
         # Writer state.
         self.write_seq = 0
         # Reader state.
         self.read_rsn = 0
-        # Pending-operation bookkeeping (at most one own operation at a time).
-        self._write_acks: set[int] = set()
-        self._pending_write_seq: Optional[int] = None
-        self._read_replies: Dict[int, tuple[int, Any]] = {}
-        self._writeback_acks: set[int] = set()
-        self._pending_read_rsn: Optional[int] = None
 
     # ------------------------------------------------------------ replica core
 
@@ -201,54 +183,52 @@ class AbdRegisterProcess(RegisterProcess):
         self.write_seq += 1
         seq = self.write_seq
         self._adopt(seq, record.value)
-        self._pending_write_seq = seq
-        self._write_acks = {self.pid}
-        message = AbdWrite(seq=seq, value=record.value)
-        for j in self.other_process_ids():
-            self.send(j, message)
 
-        def ack_quorum() -> bool:
-            return self.quorum.satisfied(len(self._write_acks))
-
-        def finish() -> None:
-            self._pending_write_seq = None
+        def finish(_phase) -> None:
+            self.close_phases("write")
             done()
 
-        self.add_guard(ack_quorum, finish, label=f"ABD write#{seq} ack quorum")
+        self.start_phase(
+            "write",
+            tag=seq,
+            message=AbdWrite(seq=seq, value=record.value),
+            self_reply=None,
+            on_quorum=finish,
+            label=f"ABD write#{seq} ack quorum",
+        )
 
     # ----------------------------------------------------------------- read
 
     def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
         self.read_rsn += 1
         rsn = self.read_rsn
-        self._pending_read_rsn = rsn
-        self._read_replies = {self.pid: (self.seq, self.value)}
-        self._writeback_acks = set()
-        query = AbdReadQuery(rsn=rsn)
-        for j in self.other_process_ids():
-            self.send(j, query)
 
-        def reply_quorum() -> bool:
-            return self.quorum.satisfied(len(self._read_replies))
-
-        def start_write_back() -> None:
-            best_seq, best_value = max(self._read_replies.values(), key=lambda pair: pair[0])
+        def start_write_back(query_phase) -> None:
+            best_seq, best_value = query_phase.result()
             self._adopt(best_seq, best_value)
-            self._writeback_acks = {self.pid}
-            write_back = AbdWriteBack(rsn=rsn, seq=best_seq, value=best_value)
-            for j in self.other_process_ids():
-                self.send(j, write_back)
 
-            def writeback_quorum() -> bool:
-                return self.quorum.satisfied(len(self._writeback_acks))
-
-            def finish() -> None:
-                self._pending_read_rsn = None
+            def finish(_phase) -> None:
+                self.close_phases("read", "writeback")
                 done(best_value)
 
-            self.add_guard(writeback_quorum, finish, label=f"ABD read#{rsn} write-back quorum")
+            self.start_phase(
+                "writeback",
+                tag=rsn,
+                message=AbdWriteBack(rsn=rsn, seq=best_seq, value=best_value),
+                self_reply=None,
+                on_quorum=finish,
+                label=f"ABD read#{rsn} write-back quorum",
+            )
 
-        self.add_guard(reply_quorum, start_write_back, label=f"ABD read#{rsn} query quorum")
+        self.start_phase(
+            "read",
+            tag=rsn,
+            message=AbdReadQuery(rsn=rsn),
+            aggregator=MaxReply(key=itemgetter(0)),
+            self_reply=(self.seq, self.value),
+            on_quorum=start_write_back,
+            label=f"ABD read#{rsn} query quorum",
+        )
 
     # -------------------------------------------------------------- handlers
 
@@ -257,23 +237,26 @@ class AbdRegisterProcess(RegisterProcess):
             self._adopt(message.seq, message.value)
             self.send(src, AbdWriteAck(seq=message.seq))
         elif isinstance(message, AbdWriteAck):
-            if message.seq == self._pending_write_seq:
-                self._write_acks.add(src)
+            self.phase_reply("write", src, tag=message.seq)
         elif isinstance(message, AbdReadQuery):
             self.send(src, AbdReadReply(rsn=message.rsn, seq=self.seq, value=self.value))
         elif isinstance(message, AbdReadReply):
-            if message.rsn == self._pending_read_rsn and src not in self._read_replies:
-                self._read_replies[src] = (message.seq, message.value)
+            self.phase_reply("read", src, (message.seq, message.value), tag=message.rsn)
         elif isinstance(message, AbdWriteBack):
             self._adopt(message.seq, message.value)
             self.send(src, AbdWriteBackAck(rsn=message.rsn))
         elif isinstance(message, AbdWriteBackAck):
-            if message.rsn == self._pending_read_rsn:
-                self._writeback_acks.add(src)
+            self.phase_reply("writeback", src, tag=message.rsn)
         else:
             raise TypeError(f"p{self.pid} received unknown ABD message {message!r} from p{src}")
 
     # ------------------------------------------------------------- inspection
+
+    @property
+    def _write_acks(self) -> set[int]:
+        """Responders of the current write phase (kept for tests/diagnostics)."""
+        phase = self._phases.get("write")
+        return set() if phase is None else set(phase.replies)
 
     def local_memory_words(self) -> int:
         """ABD keeps a constant number of words plus an unbounded sequence number.
@@ -281,7 +264,7 @@ class AbdRegisterProcess(RegisterProcess):
         We count words: the (seq, value) pair, the writer/reader counters and
         the transient quorum sets (bounded by ``n``).
         """
-        return 4 + len(self._write_acks) + len(self._read_replies) + len(self._writeback_acks)
+        return 4 + self.phase_words("write", "read", "writeback")
 
 
 #: Factory registered under the name ``"abd"``.
@@ -290,4 +273,5 @@ ABD_ALGORITHM = RegisterAlgorithm(
     description="ABD 1995, unbounded sequence numbers carried by messages",
     process_factory=AbdRegisterProcess,
     supports_multi_writer=False,
+    bounded_control_bits=False,
 )

@@ -14,22 +14,32 @@ We include it for two reasons:
 * it exercises the verification layer on MWMR histories (the checker must
   order concurrent writes by timestamp rather than by the single writer's
   program order).
+
+All four phases (timestamp query, write imposition, read query, write-back)
+are ``start_phase`` calls on the shared quorum engine (:mod:`repro.quorum`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from operator import itemgetter
+from typing import Any, Callable, Tuple
 
-from repro.registers.abd import ABD_TYPE_BITS, _int_bits, _value_bits
-from repro.registers.base import OperationRecord, RegisterAlgorithm, RegisterProcess
-from repro.sim.network import Network
-from repro.sim.scheduler import Simulator
+from repro.quorum.aggregators import MaxReply
+from repro.quorum.engine import PhaseRegisterProcess
+from repro.registers.abd import ABD_TYPE_BITS
+from repro.registers.base import OperationRecord, RegisterAlgorithm
+from repro.registers.costmodels import int_bits, value_bits
 
 #: A logical timestamp: (counter, writer pid); ordered lexicographically.
 Timestamp = Tuple[int, int]
 
 ZERO_TS: Timestamp = (0, -1)
+
+
+def _ts_bits(ts: Timestamp) -> int:
+    """Control bits of a timestamp: counter width plus writer-id width."""
+    return int_bits(ts[0]) + int_bits(max(ts[1], 0) + 1)
 
 
 @dataclass(frozen=True)
@@ -41,7 +51,7 @@ class MwAbdTsQuery:
     type_name = "MWABD_TS_QUERY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.wsn)
+        return ABD_TYPE_BITS + int_bits(self.wsn)
 
     def data_bits(self) -> int:
         return 0
@@ -57,7 +67,7 @@ class MwAbdTsReply:
     type_name = "MWABD_TS_REPLY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.wsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+        return ABD_TYPE_BITS + int_bits(self.wsn) + _ts_bits(self.ts)
 
     def data_bits(self) -> int:
         return 0
@@ -74,10 +84,10 @@ class MwAbdWrite:
     type_name = "MWABD_WRITE"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.wsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+        return ABD_TYPE_BITS + int_bits(self.wsn) + _ts_bits(self.ts)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -89,7 +99,7 @@ class MwAbdWriteAck:
     type_name = "MWABD_WRITE_ACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.wsn)
+        return ABD_TYPE_BITS + int_bits(self.wsn)
 
     def data_bits(self) -> int:
         return 0
@@ -104,7 +114,7 @@ class MwAbdReadQuery:
     type_name = "MWABD_READ_QUERY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn)
+        return ABD_TYPE_BITS + int_bits(self.rsn)
 
     def data_bits(self) -> int:
         return 0
@@ -121,10 +131,10 @@ class MwAbdReadReply:
     type_name = "MWABD_READ_REPLY"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+        return ABD_TYPE_BITS + int_bits(self.rsn) + _ts_bits(self.ts)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -138,10 +148,10 @@ class MwAbdWriteBack:
     type_name = "MWABD_WRITE_BACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn) + _int_bits(self.ts[0]) + _int_bits(max(self.ts[1], 0) + 1)
+        return ABD_TYPE_BITS + int_bits(self.rsn) + _ts_bits(self.ts)
 
     def data_bits(self) -> int:
-        return _value_bits(self.value)
+        return value_bits(self.value)
 
 
 @dataclass(frozen=True)
@@ -153,35 +163,27 @@ class MwAbdWriteBackAck:
     type_name = "MWABD_WRITE_BACK_ACK"
 
     def control_bits(self) -> int:
-        return ABD_TYPE_BITS + _int_bits(self.rsn)
+        return ABD_TYPE_BITS + int_bits(self.rsn)
 
     def data_bits(self) -> int:
         return 0
 
 
-class MwmrAbdRegisterProcess(RegisterProcess):
-    """One process of the MWMR ABD register; any process may write."""
+class MwmrAbdRegisterProcess(PhaseRegisterProcess):
+    """One process of the MWMR ABD register; any process may write.
 
-    def __init__(
-        self,
-        pid: int,
-        simulator: Simulator,
-        network: Network,
-        writer_pid: int,
-        t: Optional[int] = None,
-        initial_value: Any = None,
-    ) -> None:
-        super().__init__(pid, simulator, network, writer_pid, t, initial_value)
+    Phase slots: ``"ts"`` (timestamp query) and ``"write"`` (imposition ack
+    quorum) for writes, ``"read"`` and ``"writeback"`` for reads.  The query
+    slots stay open until the *operation* finishes — late replies keep being
+    recorded exactly as the pre-engine bookkeeping did.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
         self.ts: Timestamp = ZERO_TS
-        self.value = initial_value
+        self.value = self.initial_value
         self.wsn = 0
         self.rsn = 0
-        self._pending_wsn: Optional[int] = None
-        self._ts_replies: Dict[int, Timestamp] = {}
-        self._write_acks: set[int] = set()
-        self._pending_rsn: Optional[int] = None
-        self._read_replies: Dict[int, tuple[Timestamp, Any]] = {}
-        self._writeback_acks: set[int] = set()
 
     def _check_write_permission(self) -> None:
         # MWMR: every process is allowed to write.
@@ -197,65 +199,67 @@ class MwmrAbdRegisterProcess(RegisterProcess):
     def _start_write(self, record: OperationRecord, done: Callable[[], None]) -> None:
         self.wsn += 1
         wsn = self.wsn
-        self._pending_wsn = wsn
-        self._ts_replies = {self.pid: self.ts}
-        for j in self.other_process_ids():
-            self.send(j, MwAbdTsQuery(wsn=wsn))
 
-        def ts_quorum() -> bool:
-            return self.quorum.satisfied(len(self._ts_replies))
-
-        def impose_write() -> None:
-            highest = max(self._ts_replies.values())
+        def impose_write(ts_phase) -> None:
+            highest = ts_phase.result()
             new_ts: Timestamp = (highest[0] + 1, self.pid)
             self._adopt(new_ts, record.value)
-            self._write_acks = {self.pid}
-            message = MwAbdWrite(wsn=wsn, ts=new_ts, value=record.value)
-            for j in self.other_process_ids():
-                self.send(j, message)
 
-            def ack_quorum() -> bool:
-                return self.quorum.satisfied(len(self._write_acks))
-
-            def finish() -> None:
-                self._pending_wsn = None
+            def finish(_phase) -> None:
+                self.close_phases("ts", "write")
                 done()
 
-            self.add_guard(ack_quorum, finish, label=f"MWABD write#{wsn} ack quorum")
+            self.start_phase(
+                "write",
+                tag=wsn,
+                message=MwAbdWrite(wsn=wsn, ts=new_ts, value=record.value),
+                self_reply=None,
+                on_quorum=finish,
+                label=f"MWABD write#{wsn} ack quorum",
+            )
 
-        self.add_guard(ts_quorum, impose_write, label=f"MWABD write#{wsn} ts quorum")
+        self.start_phase(
+            "ts",
+            tag=wsn,
+            message=MwAbdTsQuery(wsn=wsn),
+            aggregator=MaxReply(),
+            self_reply=self.ts,
+            on_quorum=impose_write,
+            label=f"MWABD write#{wsn} ts quorum",
+        )
 
     # ----------------------------------------------------------------- read
 
     def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
         self.rsn += 1
         rsn = self.rsn
-        self._pending_rsn = rsn
-        self._read_replies = {self.pid: (self.ts, self.value)}
-        for j in self.other_process_ids():
-            self.send(j, MwAbdReadQuery(rsn=rsn))
 
-        def reply_quorum() -> bool:
-            return self.quorum.satisfied(len(self._read_replies))
-
-        def start_write_back() -> None:
-            best_ts, best_value = max(self._read_replies.values(), key=lambda pair: pair[0])
+        def start_write_back(query_phase) -> None:
+            best_ts, best_value = query_phase.result()
             self._adopt(best_ts, best_value)
-            self._writeback_acks = {self.pid}
-            message = MwAbdWriteBack(rsn=rsn, ts=best_ts, value=best_value)
-            for j in self.other_process_ids():
-                self.send(j, message)
 
-            def writeback_quorum() -> bool:
-                return self.quorum.satisfied(len(self._writeback_acks))
-
-            def finish() -> None:
-                self._pending_rsn = None
+            def finish(_phase) -> None:
+                self.close_phases("read", "writeback")
                 done(best_value)
 
-            self.add_guard(writeback_quorum, finish, label=f"MWABD read#{rsn} write-back quorum")
+            self.start_phase(
+                "writeback",
+                tag=rsn,
+                message=MwAbdWriteBack(rsn=rsn, ts=best_ts, value=best_value),
+                self_reply=None,
+                on_quorum=finish,
+                label=f"MWABD read#{rsn} write-back quorum",
+            )
 
-        self.add_guard(reply_quorum, start_write_back, label=f"MWABD read#{rsn} query quorum")
+        self.start_phase(
+            "read",
+            tag=rsn,
+            message=MwAbdReadQuery(rsn=rsn),
+            aggregator=MaxReply(key=itemgetter(0)),
+            self_reply=(self.ts, self.value),
+            on_quorum=start_write_back,
+            label=f"MWABD read#{rsn} query quorum",
+        )
 
     # -------------------------------------------------------------- handlers
 
@@ -263,30 +267,26 @@ class MwmrAbdRegisterProcess(RegisterProcess):
         if isinstance(message, MwAbdTsQuery):
             self.send(src, MwAbdTsReply(wsn=message.wsn, ts=self.ts))
         elif isinstance(message, MwAbdTsReply):
-            if message.wsn == self._pending_wsn and src not in self._ts_replies:
-                self._ts_replies[src] = message.ts
+            self.phase_reply("ts", src, message.ts, tag=message.wsn)
         elif isinstance(message, MwAbdWrite):
             self._adopt(message.ts, message.value)
             self.send(src, MwAbdWriteAck(wsn=message.wsn))
         elif isinstance(message, MwAbdWriteAck):
-            if message.wsn == self._pending_wsn:
-                self._write_acks.add(src)
+            self.phase_reply("write", src, tag=message.wsn)
         elif isinstance(message, MwAbdReadQuery):
             self.send(src, MwAbdReadReply(rsn=message.rsn, ts=self.ts, value=self.value))
         elif isinstance(message, MwAbdReadReply):
-            if message.rsn == self._pending_rsn and src not in self._read_replies:
-                self._read_replies[src] = (message.ts, message.value)
+            self.phase_reply("read", src, (message.ts, message.value), tag=message.rsn)
         elif isinstance(message, MwAbdWriteBack):
             self._adopt(message.ts, message.value)
             self.send(src, MwAbdWriteBackAck(rsn=message.rsn))
         elif isinstance(message, MwAbdWriteBackAck):
-            if message.rsn == self._pending_rsn:
-                self._writeback_acks.add(src)
+            self.phase_reply("writeback", src, tag=message.rsn)
         else:
             raise TypeError(f"p{self.pid} received unknown MWMR-ABD message {message!r} from p{src}")
 
     def local_memory_words(self) -> int:
-        return 6 + len(self._ts_replies) + len(self._read_replies)
+        return 6 + self.phase_words("ts", "read")
 
 
 #: Factory registered under the name ``"abd-mwmr"``.
@@ -295,4 +295,5 @@ ABD_MWMR_ALGORITHM = RegisterAlgorithm(
     description="Multi-writer ABD: timestamp query phase before each write",
     process_factory=MwmrAbdRegisterProcess,
     supports_multi_writer=True,
+    bounded_control_bits=False,
 )

@@ -17,13 +17,23 @@ clients by chaining callbacks.  See ``repro.workloads.runner``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional
 
+from repro.quorum.tracker import QuorumTracker
 from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
+
+__all__ = [
+    "OperationKind",
+    "OperationRecord",
+    "QuorumTracker",  # canonical home: repro.quorum.tracker (re-exported here)
+    "RegisterAlgorithm",
+    "RegisterHandle",
+    "RegisterProcess",
+]
 
 
 class OperationKind(str, Enum):
@@ -67,42 +77,6 @@ class OperationRecord:
         if self.messages_after is None:
             return None
         return self.messages_after - self.messages_before
-
-
-class QuorumTracker:
-    """Helper implementing the ``wait(z >= n - t ...)`` pattern.
-
-    Register algorithms repeatedly wait until at least ``n - t`` processes
-    satisfy some predicate (acknowledged a write, answered a read query, ...).
-    ``QuorumTracker`` just centralises the arithmetic and the common
-    "count processes satisfying a predicate" loop so each protocol reads like
-    the pseudocode.
-    """
-
-    def __init__(self, n: int, t: Optional[int] = None) -> None:
-        if n < 1:
-            raise ValueError("need at least one process")
-        self.n = n
-        self.t = (n - 1) // 2 if t is None else t
-        if not 0 <= self.t < n:
-            raise ValueError(f"invalid t={self.t} for n={n}")
-
-    @property
-    def quorum_size(self) -> int:
-        """The majority-quorum threshold ``n - t``."""
-        return self.n - self.t
-
-    def satisfied(self, count: int) -> bool:
-        """True when ``count`` processes suffice for a quorum."""
-        return count >= self.quorum_size
-
-    def count_satisfying(self, values: Sequence[Any], predicate: Callable[[Any], bool]) -> int:
-        """Count entries of ``values`` satisfying ``predicate``."""
-        return sum(1 for value in values if predicate(value))
-
-    def quorum_of(self, values: Sequence[Any], predicate: Callable[[Any], bool]) -> bool:
-        """True when at least ``n - t`` entries of ``values`` satisfy ``predicate``."""
-        return self.satisfied(self.count_satisfying(values, predicate))
 
 
 class RegisterProcess(Process):
@@ -301,12 +275,18 @@ class RegisterAlgorithm:
         RegisterProcess``.
     supports_multi_writer:
         Whether any process may write (MWMR) or only ``writer_pid`` (SWMR).
+    bounded_control_bits:
+        Whether every message carries a bounded number of control bits (the
+        paper's two-bit algorithm, the modulo emulation) or the control
+        information grows with the write count (plain ABD).  Surfaced by
+        ``repro algorithms`` as a capability flag.
     """
 
     name: str
     description: str
     process_factory: Callable[..., RegisterProcess]
     supports_multi_writer: bool = False
+    bounded_control_bits: bool = False
 
     def build(
         self,

@@ -37,10 +37,14 @@ this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from operator import itemgetter
+from typing import Any, Callable, Optional
 
-from repro.registers.abd import ABD_TYPE_BITS, _value_bits
-from repro.registers.base import OperationRecord, RegisterAlgorithm, RegisterProcess
+from repro.quorum.aggregators import MaxReply
+from repro.quorum.engine import PhaseRegisterProcess
+from repro.registers.abd import ABD_TYPE_BITS
+from repro.registers.base import OperationRecord, RegisterAlgorithm
+from repro.registers.costmodels import value_bits as _value_bits
 from repro.sim.network import Network
 from repro.sim.scheduler import Simulator
 
@@ -182,8 +186,15 @@ def reconstruct(local_seq: int, seq_mod: int, modulus: int) -> int:
     return best
 
 
-class ModuloSeqAbdProcess(RegisterProcess):
-    """ABD with modulo-M sequence numbers on the wire (bounded message size)."""
+class ModuloSeqAbdProcess(PhaseRegisterProcess):
+    """ABD with modulo-M sequence numbers on the wire (bounded message size).
+
+    Phase slots mirror plain ABD (``"write"``, ``"read"``, ``"writeback"``);
+    phase tags are the *wire* representatives (``seq mod M`` / ``rsn mod M``),
+    which is exactly what the stale-reply checks compared before the engine
+    port — only one phase per slot is ever open, so the modulo tag is
+    unambiguous.
+    """
 
     def __init__(
         self,
@@ -203,11 +214,6 @@ class ModuloSeqAbdProcess(RegisterProcess):
         self.value = initial_value
         self.write_seq = 0
         self.read_rsn = 0
-        self._pending_write_seq: Optional[int] = None
-        self._write_acks: set[int] = set()
-        self._pending_read_rsn: Optional[int] = None
-        self._read_replies: Dict[int, tuple[int, Any]] = {}
-        self._writeback_acks: set[int] = set()
 
     def _adopt(self, seq: int, value: Any) -> None:
         if seq > self.seq:
@@ -225,58 +231,59 @@ class ModuloSeqAbdProcess(RegisterProcess):
         self.write_seq += 1
         seq = self.write_seq
         self._adopt(seq, record.value)
-        self._pending_write_seq = seq
-        self._write_acks = {self.pid}
-        message = ModWrite(seq_mod=seq % self.modulus, value=record.value, modulus=self.modulus)
-        for j in self.other_process_ids():
-            self.send(j, message)
+        seq_mod = seq % self.modulus
 
-        def ack_quorum() -> bool:
-            return self.quorum.satisfied(len(self._write_acks))
-
-        def finish() -> None:
-            self._pending_write_seq = None
+        def finish(_phase) -> None:
+            self.close_phases("write")
             done()
 
-        self.add_guard(ack_quorum, finish, label=f"MOD write#{seq} ack quorum")
+        self.start_phase(
+            "write",
+            tag=seq_mod,
+            message=ModWrite(seq_mod=seq_mod, value=record.value, modulus=self.modulus),
+            self_reply=None,
+            on_quorum=finish,
+            label=f"MOD write#{seq} ack quorum",
+        )
 
     # ----------------------------------------------------------------- read
 
     def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
         self.read_rsn += 1
         rsn = self.read_rsn
-        self._pending_read_rsn = rsn
-        self._read_replies = {self.pid: (self.seq, self.value)}
-        query = ModReadQuery(rsn_mod=rsn % self.modulus, modulus=self.modulus)
-        for j in self.other_process_ids():
-            self.send(j, query)
+        rsn_mod = rsn % self.modulus
 
-        def reply_quorum() -> bool:
-            return self.quorum.satisfied(len(self._read_replies))
-
-        def start_write_back() -> None:
-            best_seq, best_value = max(self._read_replies.values(), key=lambda pair: pair[0])
+        def start_write_back(query_phase) -> None:
+            best_seq, best_value = query_phase.result()
             self._adopt(best_seq, best_value)
-            self._writeback_acks = {self.pid}
-            message = ModWriteBack(
-                rsn_mod=rsn % self.modulus,
-                seq_mod=best_seq % self.modulus,
-                value=best_value,
-                modulus=self.modulus,
-            )
-            for j in self.other_process_ids():
-                self.send(j, message)
 
-            def writeback_quorum() -> bool:
-                return self.quorum.satisfied(len(self._writeback_acks))
-
-            def finish() -> None:
-                self._pending_read_rsn = None
+            def finish(_phase) -> None:
+                self.close_phases("read", "writeback")
                 done(best_value)
 
-            self.add_guard(writeback_quorum, finish, label=f"MOD read#{rsn} write-back quorum")
+            self.start_phase(
+                "writeback",
+                tag=rsn_mod,
+                message=ModWriteBack(
+                    rsn_mod=rsn_mod,
+                    seq_mod=best_seq % self.modulus,
+                    value=best_value,
+                    modulus=self.modulus,
+                ),
+                self_reply=None,
+                on_quorum=finish,
+                label=f"MOD read#{rsn} write-back quorum",
+            )
 
-        self.add_guard(reply_quorum, start_write_back, label=f"MOD read#{rsn} query quorum")
+        self.start_phase(
+            "read",
+            tag=rsn_mod,
+            message=ModReadQuery(rsn_mod=rsn_mod, modulus=self.modulus),
+            aggregator=MaxReply(key=itemgetter(0)),
+            self_reply=(self.seq, self.value),
+            on_quorum=start_write_back,
+            label=f"MOD read#{rsn} query quorum",
+        )
 
     # -------------------------------------------------------------- handlers
 
@@ -286,11 +293,7 @@ class ModuloSeqAbdProcess(RegisterProcess):
             self._adopt(seq, message.value)
             self.send(src, ModWriteAck(seq_mod=message.seq_mod, modulus=self.modulus))
         elif isinstance(message, ModWriteAck):
-            if (
-                self._pending_write_seq is not None
-                and message.seq_mod == self._pending_write_seq % self.modulus
-            ):
-                self._write_acks.add(src)
+            self.phase_reply("write", src, tag=message.seq_mod)
         elif isinstance(message, ModReadQuery):
             self.send(
                 src,
@@ -302,28 +305,23 @@ class ModuloSeqAbdProcess(RegisterProcess):
                 ),
             )
         elif isinstance(message, ModReadReply):
-            if (
-                self._pending_read_rsn is not None
-                and message.rsn_mod == self._pending_read_rsn % self.modulus
-                and src not in self._read_replies
-            ):
+            # Reconstruction only for replies the stale-phase guard admits —
+            # a late reply to a finished read must not be able to raise.
+            phase = self.active_phase("read", tag=message.rsn_mod)
+            if phase is not None and src not in phase.replies:
                 seq = reconstruct(self.seq, message.seq_mod, self.modulus)
-                self._read_replies[src] = (seq, message.value)
+                phase.accept(src, (seq, message.value))
         elif isinstance(message, ModWriteBack):
             seq = reconstruct(self.seq, message.seq_mod, self.modulus)
             self._adopt(seq, message.value)
             self.send(src, ModWriteBackAck(rsn_mod=message.rsn_mod, modulus=self.modulus))
         elif isinstance(message, ModWriteBackAck):
-            if (
-                self._pending_read_rsn is not None
-                and message.rsn_mod == self._pending_read_rsn % self.modulus
-            ):
-                self._writeback_acks.add(src)
+            self.phase_reply("writeback", src, tag=message.rsn_mod)
         else:
             raise TypeError(f"p{self.pid} received unknown message {message!r} from p{src}")
 
     def local_memory_words(self) -> int:
-        return 5 + len(self._write_acks) + len(self._read_replies) + len(self._writeback_acks)
+        return 5 + self.phase_words("write", "read", "writeback")
 
 
 #: Factory registered under the name ``"abd-bounded-emulation"``.
@@ -335,4 +333,5 @@ MODULO_ABD_ALGORITHM = RegisterAlgorithm(
     ),
     process_factory=ModuloSeqAbdProcess,
     supports_multi_writer=False,
+    bounded_control_bits=True,
 )

@@ -26,6 +26,47 @@ from typing import Callable, Optional
 UNBOUNDED = math.inf
 
 
+# ----------------------------------------------------- wire-size bit helpers
+#
+# Every message class in the repository prices its own control/data bits with
+# these two helpers.  They used to be copied across ``abd.py`` (defining),
+# ``abd_mwmr.py`` and ``bounded.py`` (importing the privates); this is their
+# single home now — the message-size row of Table 1 is only as trustworthy as
+# this accounting, so it is defined (and unit-tested) exactly once.
+
+
+def int_bits(value: int) -> int:
+    """Bits needed to represent the magnitude of an integer (at least 1).
+
+    ``int.bit_length`` ignores the sign, so negative integers are priced by
+    their magnitude; 0 and ±1 cost one bit (a field of width zero cannot be
+    decoded).
+    """
+    return max(1, int(value).bit_length())
+
+
+def value_bits(value: object) -> int:
+    """Data-payload size of a register value, in bits.
+
+    The convention shared by every message's ``data_bits()``: ``None`` (the
+    "no value" marker) is free, booleans cost one bit, integers their
+    magnitude's width, floats a 64-bit word, strings/bytes 8 bits per
+    element, and anything else the width of its ``repr`` (a deliberate
+    over-approximation — exotic payloads should never look cheap).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return int_bits(abs(value))
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, (str, bytes)):
+        return 8 * len(value)
+    return 8 * len(repr(value))
+
+
 @dataclass(frozen=True)
 class ComplexityEntry:
     """One cell of Table 1: an asymptotic label plus an evaluable function.

@@ -94,7 +94,14 @@ _INF = math.inf
 
 @dataclass
 class NetworkStats:
-    """Aggregated message statistics for a simulation run."""
+    """Aggregated message statistics for a simulation run.
+
+    All counters are **logical** message counts: coalescing (packing several
+    same-instant deliveries into one heap event) is invisible here except for
+    the dedicated ``messages_coalesced`` counter — the message bill, per-type
+    attribution and per-operation accounting are the same with coalescing on
+    or off.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
@@ -102,6 +109,10 @@ class NetworkStats:
     control_bits_total: int = 0
     data_bits_total: int = 0
     max_control_bits: int = 0
+    #: Logical messages that piggybacked on an already-scheduled delivery
+    #: event (same destination, same delivery instant).  The number of heap
+    #: events actually scheduled is ``messages_sent - messages_coalesced``.
+    messages_coalesced: int = 0
     by_type: Dict[str, int] = field(default_factory=dict)
     per_sender: Dict[int, int] = field(default_factory=dict)
     # Operation attribution: the workload runner opens an accounting window
@@ -196,6 +207,8 @@ class NetworkStats:
             "control_bits_total": self.control_bits_total,
             "data_bits_total": self.data_bits_total,
             "max_control_bits": self.max_control_bits,
+            "messages_coalesced": self.messages_coalesced,
+            "delivery_events": self.messages_sent - self.messages_coalesced,
             "by_type": dict(self.by_type),
             "per_sender": dict(self.per_sender),
         }
@@ -211,9 +224,30 @@ class _Delivery:
     itself the event callback (``__call__``), and doubles as the event's
     *lazy* label (``__str__`` formats the diagnostic only if a stuck run asks
     for it).
+
+    With **coalescing** enabled on the network, the first message to a given
+    ``(dst, delivery-time)`` becomes the scheduled *head* (``key`` set, entry
+    in ``network._coalesced``); later logical messages to the same key ride
+    along in ``extra`` and are fanned out — in send order — when the single
+    heap event fires.  Heads remove themselves from the index before fanning
+    out, so a fan-out handler that sends at the same instant starts a fresh
+    event.  Destination liveness is (re)checked per logical message: a
+    fan-out handler may crash the destination mid-event (e.g. a send-count
+    crash trigger) and the remaining logical messages must then be dropped.
     """
 
-    __slots__ = ("network", "channel", "src", "dst", "message", "send_time", "control", "data")
+    __slots__ = (
+        "network",
+        "channel",
+        "src",
+        "dst",
+        "message",
+        "send_time",
+        "control",
+        "data",
+        "key",
+        "extra",
+    )
 
     def __init__(
         self,
@@ -234,8 +268,24 @@ class _Delivery:
         self.send_time = send_time
         self.control = control
         self.data = data
+        self.key: Optional[tuple[int, float]] = None
+        self.extra: Optional[list["_Delivery"]] = None
 
     def __call__(self) -> None:
+        key = self.key
+        if key is not None:
+            # Coalesced head: detach from the index first, then fan out the
+            # logical messages in send order (head first).
+            network = self.network
+            del network._coalesced[key]
+            extra = self.extra
+            if extra is not None:
+                self._fan_out(network, extra)
+                return
+            self._fire(network)
+            return
+        # Hot path (coalescing off, or singleton event): identical to _fire,
+        # inlined to keep the per-event cost of plain runs unchanged.
         network = self.network
         self.channel.in_flight -= 1
         destination = network._processes[self.dst]
@@ -267,8 +317,110 @@ class _Delivery:
                 hook(self.src, self.dst, self.message)
         destination.deliver(self.src, self.message)
 
+    def _fan_out(self, network: "Network", extra: list["_Delivery"]) -> None:
+        """Deliver the head plus every coalesced rider, in send order.
+
+        All entries share this event's destination and instant, so the
+        per-delivery invariants (destination, stats, tracer, hooks, record
+        flag) are hoisted out of the loop, message handling is dispatched
+        straight to ``on_message``, and the guard fixpoint scan runs **once**
+        for the whole batch instead of once per message.  Deferring the scan
+        is legal because every awaited predicate is *stable-true* within an
+        instant — quorum counts and ``w_sync`` entries only grow, and the
+        alternating-bit reorder predicate stays true until its write is
+        processed — so the same guards fire at the same virtual time, merely
+        later within it.  Destination liveness is re-read per logical message
+        (a handler may crash the destination mid-event, e.g. a send-count
+        crash trigger firing on one of its replies).
+        """
+        stats = network.stats
+        destination = network._processes[self.dst]
+        record = network.record_messages
+        tracer = network.simulator.tracer
+        trace = tracer.enabled
+        hooks = network._delivery_hooks
+        now = network.simulator.now
+        entry = self
+        index = 0
+        count = len(extra)
+        handled = False
+        while True:
+            entry.channel.in_flight -= 1
+            delivered = not destination.crashed
+            if record:
+                network.records.append(
+                    MessageRecord(
+                        send_time=entry.send_time,
+                        delivery_time=now,
+                        src=entry.src,
+                        dst=entry.dst,
+                        message=entry.message,
+                        control_bits=entry.control,
+                        data_bits=entry.data,
+                        delivered=delivered,
+                    )
+                )
+            if delivered:
+                stats.messages_delivered += 1
+                entry.channel.delivered += 1
+                if trace:
+                    tracer.record(now, "deliver", entry.src, entry.dst, entry.message)
+                if hooks:
+                    for hook in hooks:
+                        hook(entry.src, entry.dst, entry.message)
+                # Process.deliver, inlined for the batch: counters + dispatch,
+                # with the guard scan hoisted to the end of the fan-out.
+                destination.messages_received += 1
+                destination.on_message(entry.src, entry.message)
+                destination.messages_handled += 1
+                handled = True
+            else:
+                stats.messages_dropped_to_crashed += 1  # record_drop(), inlined
+            if index == count:
+                break
+            entry = extra[index]
+            index += 1
+        if handled and destination._guards and not destination.crashed:
+            destination.check_guards()
+
+    def _fire(self, network: "Network") -> None:
+        """Deliver one logical message (the body of ``__call__``, sans coalescing)."""
+        self.channel.in_flight -= 1
+        destination = network._processes[self.dst]
+        delivered = not destination.crashed
+        if network.record_messages:
+            network.records.append(
+                MessageRecord(
+                    send_time=self.send_time,
+                    delivery_time=network.simulator.now,
+                    src=self.src,
+                    dst=self.dst,
+                    message=self.message,
+                    control_bits=self.control,
+                    data_bits=self.data,
+                    delivered=delivered,
+                )
+            )
+        if not delivered:
+            network.stats.record_drop()
+            return
+        network.stats.messages_delivered += 1
+        self.channel.delivered += 1
+        tracer = network.simulator.tracer
+        if tracer.enabled:
+            tracer.record(network.simulator.now, "deliver", self.src, self.dst, self.message)
+        hooks = network._delivery_hooks
+        if hooks:
+            for hook in hooks:
+                hook(self.src, self.dst, self.message)
+        destination.deliver(self.src, self.message)
+
     def __str__(self) -> str:
-        return f"deliver {self.message!r} p{self.src}->p{self.dst}"
+        label = f"deliver {self.message!r} p{self.src}->p{self.dst}"
+        extra = self.extra
+        if extra:
+            label += f" (+{len(extra)} coalesced)"
+        return label
 
 
 class Channel:
@@ -300,6 +452,15 @@ class Network:
     record_messages:
         When true, every transfer is kept as a :class:`MessageRecord` (used
         by fine-grained tests; benchmarks leave it off to save memory).
+    coalesce:
+        When true, logical messages to the same destination arriving at the
+        same virtual instant share one heap event (the head's ``_Delivery``
+        fans the rest out on arrival).  Delivery *times* are unchanged and
+        every logical message is still delivered, recorded and accounted
+        individually — only the intra-instant delivery interleaving (and the
+        number of heap operations) changes.  Off by default so existing
+        deployments replay their pinned histories bit for bit; the sharded
+        store turns it on (see ``repro.store.StoreConfig.coalesce``).
     """
 
     def __init__(
@@ -307,11 +468,17 @@ class Network:
         simulator: Simulator,
         delay_model: Optional[DelayModel] = None,
         record_messages: bool = False,
+        coalesce: bool = False,
     ) -> None:
         self.simulator = simulator
         self.delay_model = delay_model or FixedDelay(1.0)
         self.stats = NetworkStats()
         self.record_messages = record_messages
+        self.coalesce = coalesce
+        # Coalescing index: (dst, delivery-time) -> scheduled head delivery.
+        # Heads remove themselves when they fire, so the index only ever
+        # holds in-flight events and lookups can never hit a stale head.
+        self._coalesced: Dict[tuple[int, float], _Delivery] = {}
         self.records: list[MessageRecord] = []
         self._processes: Dict[int, "Process"] = {}
         self._channels: Dict[tuple[int, int], Channel] = {}
@@ -419,7 +586,22 @@ class Network:
         # push straight onto the queue (delay >= 0 was just checked, so the
         # schedule_after guard would be redundant).
         delivery = _Delivery(self, channel, src, dst, message, send_time, control, data)
-        simulator._queue.push(send_time + delay, delivery, delivery)
+        if self.coalesce:
+            key = (dst, send_time + delay)
+            head = self._coalesced.get(key)
+            if head is None:
+                delivery.key = key
+                self._coalesced[key] = delivery
+                simulator._queue.push(send_time + delay, delivery, delivery)
+            else:
+                extra = head.extra
+                if extra is None:
+                    head.extra = [delivery]
+                else:
+                    extra.append(delivery)
+                self.stats.messages_coalesced += 1
+        else:
+            simulator._queue.push(send_time + delay, delivery, delivery)
         hooks = self._send_hooks
         if hooks:
             for hook in hooks:
@@ -465,6 +647,10 @@ class Subnet(Network):
             parent.simulator,
             delay_model=parent.delay_model,
             record_messages=parent.record_messages,
+            # Coalescing is deployment-wide, but the *index* stays per-subnet
+            # (pids are subnet-local, so a (dst, time) key from one subnet
+            # must never capture another subnet's traffic).
+            coalesce=parent.coalesce,
         )
         self.parent = parent
         self.name = name

@@ -41,7 +41,7 @@ harness uses: each key's operations form an independent SWMR history
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exec.driver import Driver, ExecOp
 from repro.exec.metrics import MetricsCollector
@@ -88,6 +88,19 @@ class StoreConfig:
         waiting for stragglers.
     trace:
         Enable the structured event tracer (diagnostics only).
+    coalesce:
+        Pack same-instant deliveries to one replica into a single heap event
+        (see :class:`~repro.sim.network.Network`).  On by default: the store
+        is the broadcast-heavy deployment where quorum replies pile onto the
+        same destination at the same instant, and logical-message accounting
+        (bills, per-type attribution, link policies) is unaffected.  Turn it
+        off to reproduce pre-coalescing event interleavings exactly.
+    shard_algorithms:
+        Optional per-shard register algorithms (one registry name per shard,
+        length must equal ``num_shards``).  Keys placed on shard ``i`` run
+        ``shard_algorithms[i]``; unset means every shard runs ``algorithm``.
+        The shared quorum engine makes mixing algorithms under one workload
+        cheap — this is what the ``kv_mixed`` scenario exercises.
     """
 
     algorithm: str = "abd"
@@ -98,6 +111,21 @@ class StoreConfig:
     initial_value: Any = "v0"
     max_virtual_time: float = 100_000.0
     trace: bool = False
+    coalesce: bool = True
+    shard_algorithms: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_algorithms is not None and len(self.shard_algorithms) != self.num_shards:
+            raise ValueError(
+                f"shard_algorithms has {len(self.shard_algorithms)} entries "
+                f"for {self.num_shards} shards; provide exactly one per shard"
+            )
+
+    def algorithm_for(self, shard: int) -> str:
+        """The register algorithm keys of ``shard`` run."""
+        if self.shard_algorithms is None:
+            return self.algorithm
+        return self.shard_algorithms[shard]
 
     def shard_map(self) -> ShardMap:
         """The (validated) placement this config describes."""
@@ -188,11 +216,15 @@ class KVStore:
         self.config = config
         self.shard_map = config.shard_map()  # validates the geometry
         get_algorithm(config.algorithm)  # fail fast on unknown names
+        if config.shard_algorithms is not None:
+            for name in config.shard_algorithms:
+                get_algorithm(name)
         self.simulator = Simulator(tracer=Tracer(enabled=config.trace))
         delay = config.delay_model.fresh() if config.delay_model is not None else None
         # The root network hosts no processes itself; it provides the shared
-        # clock, delay model and aggregate stats that every subnet taps into.
-        self.network = Network(self.simulator, delay_model=delay)
+        # clock, delay model, aggregate stats and the coalescing setting that
+        # every subnet taps into.
+        self.network = Network(self.simulator, delay_model=delay, coalesce=config.coalesce)
         self.shards = [
             StoreShard(shard_id=shard, replication=config.replication)
             for shard in range(config.num_shards)
@@ -228,7 +260,7 @@ class KVStore:
         placement = self.shard_map.placement(key)
         shard = self.shards[placement.shard]
         subnet = Subnet(self.network, name=f"shard{placement.shard}:{key!r}")
-        algorithm = get_algorithm(self.config.algorithm)
+        algorithm = get_algorithm(self.config.algorithm_for(placement.shard))
         processes = algorithm.build(
             self.simulator,
             subnet,
@@ -474,6 +506,8 @@ def create_store(
     initial_value: Any = "v0",
     placement_salt: int = 0,
     trace: bool = False,
+    coalesce: bool = True,
+    shard_algorithms: Optional[Tuple[str, ...]] = None,
 ) -> KVStore:
     """Create a sharded multi-key store (the ``repro.create_store`` entry point).
 
@@ -488,5 +522,7 @@ def create_store(
             delay_model=delay_model,
             initial_value=initial_value,
             trace=trace,
+            coalesce=coalesce,
+            shard_algorithms=shard_algorithms,
         )
     )

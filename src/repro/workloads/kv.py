@@ -90,6 +90,12 @@ class KVWorkloadSpec:
         before the run (see :meth:`~repro.store.store.KVStore.install_fault_plan`).
         Store-level plans must not carry a crash schedule — use
         ``crash_points`` for server crashes.
+    coalesce:
+        Pack same-instant deliveries to one replica into a single heap event
+        (on by default; see :class:`~repro.store.store.StoreConfig`).
+    shard_algorithms:
+        Optional per-shard register algorithms (one name per shard) for
+        mixed-algorithm stores — the ``kv_mixed`` scenario.
     seed:
         Master seed for key choice, op mix, arrival times and think
         randomness.
@@ -105,6 +111,8 @@ class KVWorkloadSpec:
     replication: int = 3
     placement_salt: int = 0
     batch_size: int = 64
+    coalesce: bool = True
+    shard_algorithms: Optional[Tuple[str, ...]] = None
     arrival: str = "closed"
     arrival_rate: float = 0.0
     delay_model: DelayModel = field(default_factory=lambda: FixedDelay(1.0))
@@ -129,6 +137,11 @@ class KVWorkloadSpec:
             raise ValueError(f"zipf_s must be positive, got {self.zipf_s}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.shard_algorithms is not None and len(self.shard_algorithms) != self.num_shards:
+            raise ValueError(
+                f"shard_algorithms has {len(self.shard_algorithms)} entries "
+                f"for {self.num_shards} shards; provide exactly one per shard"
+            )
         if self.arrival not in ("closed",) + ARRIVAL_PROCESSES:
             raise ValueError(
                 f"unknown arrival model {self.arrival!r}; choose from "
@@ -168,6 +181,8 @@ class KVWorkloadSpec:
             delay_model=self.delay_model,
             initial_value=self.initial_value,
             max_virtual_time=self.max_virtual_time,
+            coalesce=self.coalesce,
+            shard_algorithms=self.shard_algorithms,
         )
 
     def with_(self, **changes: object) -> "KVWorkloadSpec":

@@ -117,7 +117,7 @@ def _build(spec: WorkloadSpec, trace: bool) -> tuple[Simulator, Network, list[Re
     simulator = Simulator(tracer=Tracer(enabled=trace))
     # fresh(): rewind the delay model's RNG so re-running the same spec
     # reproduces the exact same delays (delay models are stateful objects).
-    network = Network(simulator, delay_model=spec.delay_model.fresh())
+    network = Network(simulator, delay_model=spec.delay_model.fresh(), coalesce=spec.coalesce)
     algorithm = get_algorithm(spec.algorithm)
     if spec.multi_writer and not algorithm.supports_multi_writer:
         raise ValueError(f"algorithm {spec.algorithm!r} does not support multiple writers")

@@ -9,7 +9,8 @@ with :meth:`WorkloadSpec.with_`.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.faults.adversary import random_fault_plan, slow_the_writer
 from repro.faults.partitions import PartitionSchedule, PartitionWindow
@@ -337,6 +338,48 @@ def chaos(
     )
 
 
+def kv_mixed(
+    num_keys: int = 24,
+    num_ops: int = 300,
+    read_fraction: float = 0.8,
+    num_shards: int = 3,
+    replication: int = 3,
+    batch_size: int = 64,
+    algorithms: tuple = ("two-bit", "abd", "abd-mwmr"),
+    seed: int = 11,
+) -> KVWorkloadSpec:
+    """A mixed-algorithm store: different shards run different register algorithms.
+
+    The listed ``algorithms`` are mapped round-robin onto the shards (shard 0
+    runs the first, shard 1 the second, ...), so one keyed workload exercises
+    the paper's two-bit algorithm, plain ABD and MWMR ABD side by side on one
+    virtual clock with one aggregate message bill.  The shared quorum phase
+    engine (:mod:`repro.quorum`) is what makes this cheap: every algorithm
+    speaks the same broadcast/collect protocol shape, so mixing them is pure
+    configuration.  Per-key atomicity is checked with the same per-key SWMR
+    checker regardless of the shard's algorithm (the store routes all puts of
+    a key through replica 0, so every key's history is single-writer).
+    """
+    if not algorithms:
+        raise ValueError("kv_mixed needs at least one algorithm")
+    shard_algorithms = tuple(
+        algorithms[shard % len(algorithms)] for shard in range(num_shards)
+    )
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        read_fraction=read_fraction,
+        distribution="uniform",
+        algorithm=algorithms[0],
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        shard_algorithms=shard_algorithms,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
 def isolated_latency_probe(
     n: int = 5,
     algorithm: str = "two-bit",
@@ -355,3 +398,63 @@ def isolated_latency_probe(
         isolated_operations=True,
         seed=seed,
     )
+
+
+# ------------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """Registry entry for one canned scenario.
+
+    ``kind`` is ``"register"`` (builds a :class:`WorkloadSpec` for a single
+    register deployment) or ``"store"`` (builds a :class:`KVWorkloadSpec`
+    for the sharded multi-key store).  ``builder`` is the module-level
+    function of the same name; ``description`` is its docstring's first line.
+    """
+
+    name: str
+    kind: str
+    builder: Callable[..., object]
+    description: str
+
+
+def _info(name: str, kind: str, builder: Callable[..., object]) -> ScenarioInfo:
+    summary = (builder.__doc__ or "").strip().splitlines()[0] if builder.__doc__ else ""
+    return ScenarioInfo(name=name, kind=kind, builder=builder, description=summary)
+
+
+#: Name -> scenario, in presentation order (registers first, then the store).
+SCENARIOS: Dict[str, ScenarioInfo] = {
+    info.name: info
+    for info in (
+        _info("quickstart", "register", quickstart),
+        _info("read_dominated", "register", read_dominated),
+        _info("write_heavy", "register", write_heavy),
+        _info("contended", "register", contended),
+        _info("crash_storm", "register", crash_storm),
+        _info("delay_storm", "register", delay_storm),
+        _info("isolated_latency_probe", "register", isolated_latency_probe),
+        _info("kv_uniform", "store", kv_uniform),
+        _info("kv_zipfian", "store", kv_zipfian),
+        _info("kv_openloop", "store", kv_openloop),
+        _info("kv_partitioned", "store", kv_partitioned),
+        _info("kv_mixed", "store", kv_mixed),
+        _info("chaos", "store", chaos),
+    )
+}
+
+
+def available_scenarios() -> list[str]:
+    """Names of all registered scenarios, in presentation order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioInfo:
+    """Look up a scenario by name (raises ``KeyError`` listing known names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None

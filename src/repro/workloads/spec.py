@@ -58,6 +58,11 @@ class WorkloadSpec:
         are measured.
     multi_writer:
         Spread writes over all processes (only valid for MWMR algorithms).
+    coalesce:
+        Pack same-instant deliveries to one process into a single heap event
+        (:class:`~repro.sim.network.Network` coalescing).  Off by default for
+        register workloads so the pinned golden histories replay event for
+        event; turning it on changes only the intra-instant interleaving.
     check_invariants:
         Attach the two-bit invariant monitor (only meaningful for the
         ``"two-bit"`` algorithm).
@@ -87,6 +92,7 @@ class WorkloadSpec:
     fault_plan: Optional[FaultPlan] = None
     isolated_operations: bool = False
     multi_writer: bool = False
+    coalesce: bool = False
     check_invariants: bool = False
     seed: int = 0
     initial_value: object = "v0"

@@ -149,3 +149,30 @@ class TestExamples:
         module.main()
         out = capsys.readouterr().out
         assert out.strip(), f"example {module_name} produced no output"
+
+
+class TestAlgorithmAndScenarioListing:
+    def test_algorithms_command_prints_capability_flags(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "writers" in out and "control bits" in out
+        assert "SWMR" in out and "MWMR" in out
+        assert "bounded" in out and "unbounded" in out
+
+    def test_scenarios_command_lists_register_and_store_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "kv_mixed" in out
+        assert "read_dominated" in out
+        assert "register" in out and "store" in out
+
+    def test_scenario_registry_round_trips(self):
+        from repro.workloads.scenarios import available_scenarios, get_scenario
+
+        names = available_scenarios()
+        assert "kv_mixed" in names and "quickstart" in names
+        info = get_scenario("kv_mixed")
+        assert info.kind == "store"
+        assert callable(info.builder)
+        with pytest.raises(KeyError, match="available"):
+            get_scenario("nonexistent")

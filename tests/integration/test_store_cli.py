@@ -100,3 +100,37 @@ class TestBenchCli:
         openloop = strict_loads(tmp_path / "BENCH_openloop.json")
         assert [entry["offered_load"] for entry in openloop["sweep"]] == [2.0, 8.0]
         assert all(entry["p99"] >= entry["p50"] for entry in openloop["sweep"])
+
+
+class TestMixedAndCoalescingCli:
+    def test_algorithms_flag_maps_round_robin_onto_shards(self, capsys):
+        code = main(
+            ["store", "--ops", "60", "--keys", "8", "--shards", "4",
+             "--algorithms", "two-bit,abd"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s0=two-bit, s1=abd, s2=two-bit, s3=abd" in out
+
+    def test_unknown_mixed_algorithm_rejected(self, capsys):
+        assert main(["store", "--ops", "10", "--algorithms", "abd,paxos"]) == 2
+        assert "paxos" in capsys.readouterr().err
+
+    def test_blank_algorithms_list_rejected(self, capsys):
+        assert main(["store", "--ops", "10", "--algorithms", " , "]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_no_coalesce_flag_reported_and_equivalent(self, capsys):
+        assert main(["store", "--ops", "60", "--keys", "8", "--no-coalesce"]) == 0
+        off = capsys.readouterr().out
+        assert "message coalescing" in off and "| off" in off
+        assert main(["store", "--ops", "60", "--keys", "8"]) == 0
+        on = capsys.readouterr().out
+        assert "message coalescing" in on and "on (" in on
+
+    def test_coalescing_report_counts_with_fixed_delay_workload(self, capsys):
+        # The default store scenarios sample continuous delays (no same-instant
+        # collisions); the mixed flag run still reports the counter row.
+        assert main(["store", "--ops", "40", "--keys", "4", "--algorithms", "two-bit"]) == 0
+        out = capsys.readouterr().out
+        assert "message coalescing" in out

@@ -149,3 +149,75 @@ class TestCostModels:
         assert TWO_BIT_MODEL.executable
         assert not ABD_BOUNDED_MODEL.executable
         assert not ATTIYA_MODEL.executable
+
+
+class TestWireSizeBitHelpers:
+    """The deduplicated int_bits / value_bits accounting (single home: costmodels)."""
+
+    def test_int_bits_zero_and_one_cost_one_bit(self):
+        from repro.registers.costmodels import int_bits
+
+        assert int_bits(0) == 1
+        assert int_bits(1) == 1
+
+    def test_int_bits_grows_logarithmically(self):
+        from repro.registers.costmodels import int_bits
+
+        assert int_bits(2) == 2
+        assert int_bits(255) == 8
+        assert int_bits(256) == 9
+        assert [int_bits(2**k) for k in range(1, 10)] == list(range(2, 11))
+
+    def test_int_bits_negative_prices_the_magnitude(self):
+        from repro.registers.costmodels import int_bits
+
+        assert int_bits(-1) == 1
+        assert int_bits(-3) == 2
+        assert int_bits(-256) == int_bits(256)
+
+    def test_value_bits_none_is_free(self):
+        from repro.registers.costmodels import value_bits
+
+        assert value_bits(None) == 0
+
+    def test_value_bits_bool_is_one_bit_not_an_int(self):
+        from repro.registers.costmodels import value_bits
+
+        # bool is a subclass of int; the bool branch must win.
+        assert value_bits(True) == 1
+        assert value_bits(False) == 1
+
+    def test_value_bits_ints_priced_by_magnitude(self):
+        from repro.registers.costmodels import value_bits
+
+        assert value_bits(0) == 1
+        assert value_bits(7) == 3
+        assert value_bits(-7) == 3
+
+    def test_value_bits_float_is_a_64_bit_word(self):
+        from repro.registers.costmodels import value_bits
+
+        assert value_bits(0.0) == 64
+        assert value_bits(3.14) == 64
+
+    def test_value_bits_strings_and_bytes_by_length(self):
+        from repro.registers.costmodels import value_bits
+
+        assert value_bits("") == 0
+        assert value_bits("abcd") == 32
+        assert value_bits(b"xyz") == 24
+
+    def test_value_bits_exotic_payloads_priced_by_repr(self):
+        from repro.registers.costmodels import value_bits
+
+        payload = (1, 2)
+        assert value_bits(payload) == 8 * len(repr(payload))
+
+    def test_register_modules_share_the_helpers(self):
+        from repro.registers import abd, abd_mwmr, bounded, costmodels
+
+        assert abd.int_bits is costmodels.int_bits
+        assert abd.value_bits is costmodels.value_bits
+        assert abd._int_bits is costmodels.int_bits  # legacy alias
+        assert abd_mwmr.int_bits is costmodels.int_bits
+        assert bounded._value_bits is costmodels.value_bits
