@@ -11,6 +11,8 @@ of a crash-prone asynchronous message-passing system:
 * a sharded multi-key store composing many registers (:mod:`repro.store`);
 * adversarial network conditions — healing partitions, delay storms,
   seeded chaos plans (:mod:`repro.faults`);
+* schedule exploration — seeded schedule search, checker-in-the-loop,
+  shrinking violations to replayable counterexamples (:mod:`repro.explore`);
 * atomicity / linearizability verification (:mod:`repro.verification`);
 * workload generation and execution (:mod:`repro.workloads`);
 * the Table-1 measurement harness (:mod:`repro.analysis`).
@@ -27,6 +29,7 @@ See README.md for the full tour and DESIGN.md for the architecture.
 """
 
 from repro.api import (
+    ExploreConfig,
     KVStore,
     RegisterCluster,
     StoreConfig,
@@ -35,14 +38,17 @@ from repro.api import (
     build_table1,
     create_register,
     create_store,
+    replay_artifact,
+    run_exploration,
     run_workload,
 )
 from repro.faults import FaultPlan
 from repro.workloads.spec import WorkloadSpec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "ExploreConfig",
     "FaultPlan",
     "KVStore",
     "RegisterCluster",
@@ -53,6 +59,8 @@ __all__ = [
     "build_table1",
     "create_register",
     "create_store",
+    "replay_artifact",
+    "run_exploration",
     "run_workload",
     "__version__",
 ]

@@ -9,6 +9,9 @@ Four entry points cover the common uses:
   facade, with batched submission (returns a :class:`KVStore`);
 * :func:`run_workload` (re-exported from :mod:`repro.workloads.runner`) —
   execute a declarative workload and get back a history plus metrics;
+* :func:`run_exploration` (re-exported from :mod:`repro.explore`) —
+  schedule exploration: seeded schedule search + per-key linearizability
+  checking + shrinking violations to replayable counterexample artifacts;
 * :func:`build_table1` (re-exported from :mod:`repro.analysis.table1`) —
   regenerate the paper's evaluation table.
 
@@ -23,6 +26,7 @@ from typing import Any, Optional, Sequence
 from repro.analysis.table1 import Table1, build_table1
 from repro.core.invariants import GlobalInvariantMonitor, attach_monitor
 from repro.core.process import TwoBitRegisterProcess
+from repro.explore import ExploreConfig, replay_artifact, run_exploration
 from repro.registers.base import RegisterHandle, RegisterProcess
 from repro.registers.registry import available_algorithms, get_algorithm
 from repro.sim.delays import DelayModel
@@ -36,6 +40,7 @@ from repro.workloads.scenarios import available_scenarios, get_scenario
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
+    "ExploreConfig",
     "KVStore",
     "RegisterCluster",
     "StoreConfig",
@@ -48,6 +53,8 @@ __all__ = [
     "create_register",
     "create_store",
     "get_scenario",
+    "replay_artifact",
+    "run_exploration",
     "run_workload",
 ]
 

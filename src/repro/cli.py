@@ -12,6 +12,7 @@ report without writing Python:
     python -m repro.cli compare --n 7 --reads 40 --writes 4
     python -m repro.cli bits --writes 200           # control-bit growth curves
     python -m repro.cli store --keys 32 --ops 500 --dist zipfian --shards 4
+    python -m repro.cli explore --budget 50         # schedule exploration + shrinking
 
 (With the package installed — ``pip install -e .`` — the same commands are
 available as plain ``repro <subcommand>`` via the console-script entry point.)
@@ -693,6 +694,125 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Schedule exploration: search schedules, check every run, shrink violations.
+
+    Two modes: ``repro explore --replay file`` replays a counterexample
+    artifact and exits 0 iff the recorded violation reproduces; plain
+    ``repro explore`` runs seeded schedule search.  A healthy algorithm
+    must come back clean (exit 0, non-zero on any violation); with
+    ``--expect-violation`` (mutation-testing the pipeline) the exit code
+    flips — 0 only if a violation was found, shrunk and its artifact
+    replayed.
+    """
+    import pathlib
+
+    from repro.explore import (
+        ExploreConfig,
+        available_mutations,
+        install_mutations,
+        replay_artifact,
+        run_exploration,
+        write_artifact,
+    )
+
+    if args.replay:
+        try:
+            result = replay_artifact(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        print(f"replaying {args.replay}: {len(result.case.ops)} ops on {result.case.algorithm}")
+        print(f"expected failing keys: {result.expected_keys}")
+        print(f"observed failing keys: {result.failing_keys}")
+        for violation in result.violations:
+            print(f"  - {violation}")
+        print(f"reproduced: {'yes' if result.reproduced else 'NO'}")
+        return 0 if result.reproduced else 1
+
+    known = available_algorithms() + available_mutations()
+    if args.algorithm not in known:
+        print(
+            f"unknown algorithm {args.algorithm!r}; available: {known} "
+            "(mutants are installed on demand)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm in available_mutations():
+        install_mutations()
+    try:
+        config = ExploreConfig(
+            strategy=args.strategy,
+            budget=8 if args.quick else args.budget,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            num_keys=4 if args.quick else args.keys,
+            num_ops=48 if args.quick else args.ops,
+            read_fraction=args.read_fraction,
+            num_shards=args.shards,
+            replication=args.replication,
+            perturb_rate=args.perturb_rate,
+            perturb_amplitude=args.perturb_amplitude,
+        )
+        report = run_exploration(config)
+    except (KeyError, ValueError) as exc:
+        print(f"invalid exploration parameters: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        ["strategy", config.strategy],
+        ["schedules explored", report.cases_run],
+        ["operations checked", report.operations_checked],
+        ["checker states explored", report.states_explored],
+        ["violations found", len(report.counterexamples)],
+        ["wall seconds", round(report.wall_seconds, 2)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"explore: {args.algorithm}, budget {config.budget}, seed {config.seed}",
+        )
+    )
+    out_dir = pathlib.Path(args.out_dir)
+    replay_failures = []
+    for index, example in enumerate(report.counterexamples, start=1):
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"explore_counterexample_{index}.json"
+        write_artifact(example, path)
+        print(
+            f"\ncounterexample #{index}: {len(example.original_case.ops)} ops shrunk to "
+            f"{example.op_count} (perturbation {len(example.original_case.perturbation)} -> "
+            f"{len(example.case.perturbation)} entries), keys {example.failing_keys}"
+        )
+        for violation in example.violations:
+            print(f"  - {violation}")
+        print(f"  artifact: {path} (replayed: {'yes' if example.replayed else 'NO'})")
+        if not example.replayed:
+            replay_failures.append(str(path))
+    if replay_failures:
+        print("\nnon-replayable artifacts:", file=sys.stderr)
+        for path in replay_failures:
+            print(f"  - {path}", file=sys.stderr)
+        return 1
+    if args.expect_violation:
+        if not report.counterexamples:
+            print(
+                "\nexpected the explorer to find a violation (mutation test), "
+                "but every explored schedule was linearizable",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if report.counterexamples:
+        print(
+            f"\n{len(report.counterexamples)} non-linearizable execution(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -821,6 +941,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_chaos.json (default: current directory)",
     )
     sub.set_defaults(handler=cmd_chaos)
+
+    sub = subparsers.add_parser(
+        "explore",
+        help="schedule exploration: search schedules, check every run, shrink violations",
+    )
+    sub.add_argument(
+        "--strategy",
+        default="random-walk",
+        choices=["random-walk", "crash-sweep", "partition-sweep"],
+        help="schedule search strategy (default random-walk)",
+    )
+    sub.add_argument("--budget", type=int, default=20, help="schedules to explore (default 20)")
+    sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    sub.add_argument(
+        "--algorithm",
+        default="abd",
+        help=(
+            "register algorithm, including explorer mutants such as "
+            "abd-sloppy-write (installed on demand)"
+        ),
+    )
+    sub.add_argument("--keys", type=int, default=6, help="key population (default 6)")
+    sub.add_argument("--ops", type=int, default=80, help="operations per schedule (default 80)")
+    sub.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.75,
+        dest="read_fraction",
+        help="fraction of operations that are gets (default 0.75)",
+    )
+    sub.add_argument("--shards", type=int, default=2, help="number of shards (default 2)")
+    sub.add_argument(
+        "--replication", type=int, default=3, help="replicas per shard (default 3)"
+    )
+    sub.add_argument(
+        "--perturb-rate",
+        type=float,
+        default=0.5,
+        dest="perturb_rate",
+        help="fraction of messages perturbed per schedule (default 0.5)",
+    )
+    sub.add_argument(
+        "--perturb-amplitude",
+        type=float,
+        default=4.0,
+        dest="perturb_amplitude",
+        help="delay multipliers drawn from [0.05, 1 + amplitude] (default 4.0)",
+    )
+    sub.add_argument("--quick", action="store_true", help="small budget/sizes for CI smoke")
+    sub.add_argument(
+        "--expect-violation",
+        action="store_true",
+        dest="expect_violation",
+        help="mutation test: exit 0 only if a violation is found, shrunk and replayed",
+    )
+    sub.add_argument(
+        "--replay",
+        default="",
+        help="replay a counterexample artifact instead of exploring",
+    )
+    sub.add_argument(
+        "--out-dir",
+        default=".",
+        dest="out_dir",
+        help="directory for counterexample artifacts (default: current directory)",
+    )
+    sub.set_defaults(handler=cmd_explore)
 
     sub = subparsers.add_parser(
         "bench", help="run the perf suite and emit BENCH_*.json baselines"

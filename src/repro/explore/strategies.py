@@ -1,0 +1,209 @@
+"""Schedule strategies: how the explorer picks which executions to try.
+
+A :class:`ScheduleStrategy` turns an :class:`~repro.explore.config.ExploreConfig`
+into a seeded, deterministic stream of :class:`~repro.explore.case.ExploreCase`
+objects (plus, for strategies that perturb message delays, the recording
+perturbation to run the case under).  Three built-ins:
+
+* :class:`RandomWalkStrategy` — seeded random per-message delay
+  perturbation (stretch/shrink multipliers recorded per message, see
+  :mod:`repro.explore.perturb`): explores message *reorderings* the base
+  delay model would rarely produce;
+* :class:`CrashPointSweepStrategy` — sweeps a seeded grid of server-crash
+  coordinates (time x shard x non-writer replica): explores crash
+  placement relative to in-flight quorum phases;
+* :class:`PartitionBoundarySweepStrategy` — sweeps healing-partition
+  windows (isolated replica x start x duration), reusing the
+  :mod:`repro.faults` partition plane: explores operations straddling
+  partition boundaries.
+
+Each case also varies the operation script and the delay-model seed, so a
+budget of N explores N genuinely different executions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, Optional, Tuple, Type
+
+from repro.explore.case import CaseOp, ExploreCase
+from repro.explore.config import ExploreConfig
+from repro.explore.perturb import RecordingPerturbation
+from repro.registers.base import OperationKind
+from repro.sim.rng import make_rng
+from repro.workloads.kv import KVWorkloadSpec, generate_kv_operations
+
+#: What a strategy yields: the case plus an optional live perturbation to
+#: record under (None when the case is fully described by its fields).
+PreparedCase = Tuple[ExploreCase, Optional[RecordingPerturbation]]
+
+
+def _script_for(config: ExploreConfig, case_seed: int) -> Tuple[CaseOp, ...]:
+    """The operation script of one case (seeded; distinct values per key)."""
+    spec = KVWorkloadSpec(
+        num_keys=config.num_keys,
+        num_ops=config.num_ops,
+        read_fraction=config.read_fraction,
+        distribution="uniform",
+        algorithm="abd",  # placeholder: generation never consults the registry
+        num_shards=config.num_shards,
+        replication=config.replication,
+        seed=case_seed,
+    )
+    return tuple(
+        CaseOp(
+            kind="write" if op.kind is OperationKind.WRITE else "read",
+            key=op.key,
+            value=op.value,
+        )
+        for op in generate_kv_operations(spec)
+    )
+
+
+def _delay_for(config: ExploreConfig, case_seed: int) -> Dict[str, object]:
+    """The case's serialized delay model (uniform models get a per-case seed)."""
+    delay = dict(config.delay)
+    if delay.get("kind") == "uniform":
+        delay["seed"] = case_seed
+    return delay
+
+
+def _recorder_for(config: ExploreConfig, perturb_seed: int) -> RecordingPerturbation:
+    """The per-case recording perturbation every strategy runs under."""
+    return RecordingPerturbation(
+        perturb_seed, rate=config.perturb_rate, amplitude=config.perturb_amplitude
+    )
+
+
+class ScheduleStrategy(abc.ABC):
+    """Base class: a seeded, deterministic stream of cases to explore."""
+
+    name: str = ""
+
+    def __init__(self, config: ExploreConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def cases(self) -> Iterator[PreparedCase]:
+        """Yield up to ``config.budget`` prepared cases, deterministically."""
+
+
+class RandomWalkStrategy(ScheduleStrategy):
+    """Seeded random per-message delay/reorder perturbation."""
+
+    name = "random-walk"
+
+    def cases(self) -> Iterator[PreparedCase]:
+        config = self.config
+        rng = make_rng(config.seed, "explore", self.name)
+        for index in range(config.budget):
+            case_seed = rng.randrange(2**31)
+            perturb_seed = rng.randrange(2**31)
+            case = ExploreCase(
+                name=f"{self.name}-{index}",
+                algorithm=config.algorithm,
+                num_shards=config.num_shards,
+                replication=config.replication,
+                batch_size=config.batch_size,
+                arrival_gap=config.arrival_gap,
+                delay=_delay_for(config, case_seed),
+                ops=_script_for(config, case_seed),
+            )
+            yield case, _recorder_for(config, perturb_seed)
+
+
+class CrashPointSweepStrategy(ScheduleStrategy):
+    """Sweep server-crash coordinates (time x shard x non-writer replica)."""
+
+    name = "crash-sweep"
+
+    def cases(self) -> Iterator[PreparedCase]:
+        config = self.config
+        if config.replication < 3:
+            raise ValueError(
+                "crash-sweep needs replication >= 3 (replication "
+                f"{config.replication} tolerates no crashes)"
+            )
+        rng = make_rng(config.seed, "explore", self.name)
+        for index in range(config.budget):
+            case_seed = rng.randrange(2**31)
+            perturb_seed = rng.randrange(2**31)
+            crash = {
+                "at": round(rng.uniform(0.5, 12.0), 3),
+                "shard": rng.randrange(config.num_shards),
+                "replica": rng.randrange(1, config.replication),
+            }
+            case = ExploreCase(
+                name=f"{self.name}-{index}",
+                algorithm=config.algorithm,
+                num_shards=config.num_shards,
+                replication=config.replication,
+                batch_size=config.batch_size,
+                arrival_gap=config.arrival_gap,
+                delay=_delay_for(config, case_seed),
+                ops=_script_for(config, case_seed),
+                crash_points=(crash,),
+            )
+            yield case, _recorder_for(config, perturb_seed)
+
+
+class PartitionBoundarySweepStrategy(ScheduleStrategy):
+    """Sweep healing-partition windows (replica x start x duration)."""
+
+    name = "partition-sweep"
+
+    def cases(self) -> Iterator[PreparedCase]:
+        config = self.config
+        rng = make_rng(config.seed, "explore", self.name)
+        for index in range(config.budget):
+            case_seed = rng.randrange(2**31)
+            perturb_seed = rng.randrange(2**31)
+            start = round(rng.uniform(0.5, 8.0), 3)
+            duration = round(rng.uniform(2.0, 15.0), 3)
+            partition = {
+                # Isolating replica 0 (every key's writer) is a legal — and
+                # interesting — window: puts stall until the heal.
+                "replicas": [rng.randrange(config.replication)],
+                "start": start,
+                "heal": round(start + duration, 3),
+            }
+            case = ExploreCase(
+                name=f"{self.name}-{index}",
+                algorithm=config.algorithm,
+                num_shards=config.num_shards,
+                replication=config.replication,
+                batch_size=config.batch_size,
+                arrival_gap=config.arrival_gap,
+                delay=_delay_for(config, case_seed),
+                ops=_script_for(config, case_seed),
+                partition=partition,
+            )
+            yield case, _recorder_for(config, perturb_seed)
+
+
+#: Strategy name -> class, in presentation order.
+STRATEGIES: Dict[str, Type[ScheduleStrategy]] = {
+    strategy.name: strategy
+    for strategy in (
+        RandomWalkStrategy,
+        CrashPointSweepStrategy,
+        PartitionBoundarySweepStrategy,
+    )
+}
+
+
+def available_strategies() -> list[str]:
+    """Names of the registered strategies, in presentation order."""
+    return list(STRATEGIES)
+
+
+def build_strategy(config: ExploreConfig) -> ScheduleStrategy:
+    """Instantiate the strategy named by ``config.strategy``."""
+    try:
+        cls = STRATEGIES[config.strategy]
+    except KeyError:
+        raise KeyError(
+            f"unknown schedule strategy {config.strategy!r}; "
+            f"available: {available_strategies()}"
+        ) from None
+    return cls(config)

@@ -472,6 +472,12 @@ class Network:
     ) -> None:
         self.simulator = simulator
         self.delay_model = delay_model or FixedDelay(1.0)
+        #: Scope label for perturbation hooks; subnets carry their subnet
+        #: name so per-message choices are keyed per deployment (pids are
+        #: subnet-local — without the scope, two keys' traffic would share
+        #: one choice stream and shrinking one key's schedule would shift
+        #: every other key's).
+        self.name = ""
         self.stats = NetworkStats()
         self.record_messages = record_messages
         self.coalesce = coalesce
@@ -491,6 +497,16 @@ class Network:
         # sampled delay per message.  ``None`` (the default) keeps the send
         # path byte-identical to a fault-free run.
         self.link_policy: Optional[Any] = None
+        # Schedule-exploration perturbation hook (repro.explore): an object
+        # with a ``perturb(src, dst, now, delay) -> float`` method consulted
+        # *after* the link policy, once per logical message, in deterministic
+        # send order.  Unlike link policies (pure functions), a perturbation
+        # may carry state — a seeded RNG that records its choices, or a
+        # replayed choice log — which is what makes explored schedules
+        # shrinkable and replayable.  Must return finite non-negative delays
+        # (channels stay reliable).  ``None`` (the default) adds one branch
+        # to the send path and nothing else.
+        self.perturbation: Optional[Any] = None
         # Send hooks fire after a message is recorded and scheduled (i.e. the
         # message is already irrevocably in flight).  The message-count crash
         # trigger uses this to kill a sender *immediately* after its k-th
@@ -578,6 +594,14 @@ class Network:
                 raise ValueError(
                     f"link policy produced invalid delay {delay} for p{src}->p{dst}; "
                     "policies must preserve reliability (finite, non-negative delays)"
+                )
+        perturbation = self.perturbation
+        if perturbation is not None:
+            delay = perturbation.perturb(self.name, src, dst, send_time, delay)
+            if not 0.0 <= delay < _INF:
+                raise ValueError(
+                    f"perturbation produced invalid delay {delay} for p{src}->p{dst}; "
+                    "perturbations must preserve reliability (finite, non-negative delays)"
                 )
         tracer = simulator.tracer
         if tracer.enabled:
@@ -668,4 +692,8 @@ class Subnet(Network):
         # also observe subnet traffic.  Subnet pids are subnet-local, so a
         # policy over replica indices applies uniformly to every key.
         self.link_policy = parent.link_policy
+        # The perturbation hook is deployment-wide for the same reason: a
+        # schedule explorer must see (and be able to reshape) every key's
+        # traffic through one shared choice stream.
+        self.perturbation = parent.perturbation
         self._send_hooks = parent._send_hooks

@@ -437,6 +437,20 @@ class KVStore:
         if self.driver.metrics is not None:
             self.driver.metrics.fault_timeline = plan.timeline()
 
+    def install_perturbation(self, perturbation) -> None:
+        """Install a schedule-exploration perturbation store-wide.
+
+        ``perturbation`` is an object with ``perturb(src, dst, now, delay)
+        -> float`` (see :mod:`repro.explore.perturb`), consulted once per
+        logical message after the link policy.  Like fault plans it applies
+        to every key's subnet, including subnets deployed later; unlike them
+        it may carry state (a seeded choice recorder or a replayed choice
+        log), which is what makes explored schedules shrinkable.
+        """
+        self.network.perturbation = perturbation
+        for deployment in self._registers.values():
+            deployment.subnet.perturbation = perturbation
+
     def crash_server_at(
         self, time: float, shard_id: int, replica: int, allow_writer: bool = False
     ) -> None:
@@ -496,6 +510,34 @@ class KVStore:
                 + "\n  - ".join(violations)
             )
         return report
+
+    def histories(self) -> Dict[Any, History]:
+        """Every deployed key's history, keyed by key."""
+        by_key: Dict[Any, list[OperationRecord]] = {}
+        for op in self.ops:
+            if op.record is not None:
+                by_key.setdefault(op.key, []).append(op.record)
+        return {
+            key: History.from_records(records, initial_value=self.config.initial_value)
+            for key, records in by_key.items()
+        }
+
+    def check_linearizability(
+        self, swmr_fast_path: bool = True, max_states: Optional[int] = None
+    ):
+        """Check every key with the general linearizability checker.
+
+        Per-key partitioning is sound because keys are independent registers
+        (P-compositionality / Herlihy–Wing locality — see DESIGN §9).  The
+        default lets single-writer keys take the Lemma-10 claims fast path;
+        ``swmr_fast_path=False`` forces the Wing–Gong search on every key
+        (what the schedule explorer and the checker benchmark use).
+        """
+        from repro.verification.linearizability import check_histories_per_key
+
+        return check_histories_per_key(
+            self.histories(), swmr_fast_path=swmr_fast_path, max_states=max_states
+        )
 
 
 def create_store(

@@ -20,14 +20,32 @@ instead.  Three layers:
 """
 
 from repro.verification.history import History, Operation, OpKind
-from repro.verification.linearizability import is_linearizable
+from repro.verification.linearizability import (
+    CheckResult,
+    LinearizabilityBudgetExceeded,
+    PartitionedCheckReport,
+    brute_force_is_linearizable,
+    check_histories_per_key,
+    check_linearizability,
+    find_linearization,
+    is_linearizable,
+    verify_witness,
+)
 from repro.verification.register_checker import AtomicityViolation, check_swmr_atomicity
 
 __all__ = [
     "AtomicityViolation",
+    "CheckResult",
     "History",
+    "LinearizabilityBudgetExceeded",
     "OpKind",
     "Operation",
+    "PartitionedCheckReport",
+    "brute_force_is_linearizable",
+    "check_histories_per_key",
+    "check_linearizability",
     "check_swmr_atomicity",
+    "find_linearization",
     "is_linearizable",
+    "verify_witness",
 ]

@@ -102,6 +102,33 @@ class Operation:
             return f"write({self.value!r}) by p{self.pid} {span}"
         return f"read() -> {self.result!r} by p{self.pid} {span}"
 
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (strict-JSON friendly for JSON-representable values)."""
+        return {
+            "pid": self.pid,
+            "kind": self.kind.value,
+            "value": self.value,
+            "result": self.result,
+            "invoked_at": self.invoked_at,
+            "responded_at": self.responded_at,
+            "op_id": self.op_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Operation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            pid=payload["pid"],
+            kind=OpKind(payload["kind"]),
+            value=payload.get("value"),
+            result=payload.get("result"),
+            invoked_at=payload["invoked_at"],
+            responded_at=payload.get("responded_at"),
+            op_id=payload.get("op_id", 0),
+        )
+
 
 @dataclass
 class History:
@@ -140,6 +167,28 @@ class History:
                 )
             )
         return cls(operations=operations, initial_value=initial_value)
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict:
+        """Plain-dict form: ``{"initial_value": ..., "operations": [...]}``.
+
+        Strict-JSON serializable whenever the stored values are; the
+        schedule-exploration artifacts (:mod:`repro.explore`) embed recorded
+        histories this way.
+        """
+        return {
+            "initial_value": self.initial_value,
+            "operations": [op.to_dict() for op in self.operations],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "History":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            operations=[Operation.from_dict(entry) for entry in payload["operations"]],
+            initial_value=payload.get("initial_value"),
+        )
 
     # ----------------------------------------------------------------- views
 

@@ -380,6 +380,34 @@ def kv_mixed(
     )
 
 
+def explore_smoke(
+    budget: int = 6,
+    algorithm: str = "abd",
+    num_keys: int = 4,
+    num_ops: int = 48,
+    seed: int = 0,
+):
+    """A small seeded schedule-exploration run (random-walk, quick budget).
+
+    Returns an :class:`~repro.explore.ExploreConfig` for
+    :func:`~repro.explore.run_exploration`: ``budget`` perturbed schedules
+    of a small keyed workload, each execution checked per key with the
+    Wing–Gong linearizability checker, violations shrunk to replayable
+    counterexample artifacts.  On a healthy algorithm the run must come
+    back clean — this is the configuration the CI explore smoke job runs.
+    """
+    from repro.explore.config import ExploreConfig
+
+    return ExploreConfig(
+        strategy="random-walk",
+        budget=budget,
+        seed=seed,
+        algorithm=algorithm,
+        num_keys=num_keys,
+        num_ops=num_ops,
+    )
+
+
 def isolated_latency_probe(
     n: int = 5,
     algorithm: str = "two-bit",
@@ -408,9 +436,11 @@ class ScenarioInfo:
     """Registry entry for one canned scenario.
 
     ``kind`` is ``"register"`` (builds a :class:`WorkloadSpec` for a single
-    register deployment) or ``"store"`` (builds a :class:`KVWorkloadSpec`
-    for the sharded multi-key store).  ``builder`` is the module-level
-    function of the same name; ``description`` is its docstring's first line.
+    register deployment), ``"store"`` (builds a :class:`KVWorkloadSpec`
+    for the sharded multi-key store) or ``"explore"`` (builds an
+    :class:`~repro.explore.ExploreConfig` for schedule exploration).
+    ``builder`` is the module-level function of the same name;
+    ``description`` is its docstring's first line.
     """
 
     name: str
@@ -441,6 +471,7 @@ SCENARIOS: Dict[str, ScenarioInfo] = {
         _info("kv_partitioned", "store", kv_partitioned),
         _info("kv_mixed", "store", kv_mixed),
         _info("chaos", "store", chaos),
+        _info("explore_smoke", "explore", explore_smoke),
     )
 }
 

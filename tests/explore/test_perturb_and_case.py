@@ -1,0 +1,187 @@
+"""Perturbation record/replay and the explore-case execution layer."""
+
+import json
+
+import pytest
+
+from repro.explore.case import CaseOp, ExploreCase, materialize_schedule, run_case
+from repro.explore.mutations import install_mutations
+from repro.explore.perturb import RecordingPerturbation, ReplayPerturbation
+from repro.sim.network import Network
+from repro.sim.scheduler import Simulator
+
+
+def small_case(**overrides):
+    defaults = dict(
+        name="t",
+        algorithm="abd",
+        num_shards=2,
+        replication=3,
+        batch_size=8,
+        arrival_gap=0.4,
+        delay={"kind": "fixed", "delta": 1.0},
+        ops=tuple(
+            CaseOp(kind="write", key="k0", value=f"k0=v{i}") if i % 3 == 0 else CaseOp(kind="read", key="k0")
+            for i in range(12)
+        ),
+    )
+    defaults.update(overrides)
+    return ExploreCase(**defaults)
+
+
+def signature(outcome):
+    """Record-by-record fingerprint of a case execution."""
+    rows = []
+    for op in outcome.store.ops:
+        record = op.record
+        rows.append(
+            (
+                op.op_id,
+                op.kind.value,
+                op.key,
+                op.failed,
+                None
+                if record is None
+                else (record.pid, record.invoked_at, record.responded_at, repr(record.result)),
+            )
+        )
+    return rows
+
+
+class TestRecordReplayIdentity:
+    def test_replaying_recorded_entries_reproduces_the_execution(self):
+        case = small_case()
+        recorder = RecordingPerturbation(seed=5, rate=0.6, amplitude=4.0)
+        recorded = run_case(case, perturbation=recorder)
+        assert recorder.entries, "a 60% rate over dozens of messages must record choices"
+        replayed = run_case(case.with_(perturbation=tuple(recorder.entries)))
+        assert signature(replayed) == signature(recorded)
+
+    def test_record_mode_is_seed_deterministic(self):
+        case = small_case()
+        first = RecordingPerturbation(seed=5, rate=0.6, amplitude=4.0)
+        second = RecordingPerturbation(seed=5, rate=0.6, amplitude=4.0)
+        run_case(case, perturbation=first)
+        run_case(case, perturbation=second)
+        assert first.entries == second.entries
+
+    def test_dropping_entries_changes_but_never_breaks_the_run(self):
+        case = small_case()
+        recorder = RecordingPerturbation(seed=5, rate=0.6, amplitude=4.0)
+        run_case(case, perturbation=recorder)
+        subset = tuple(recorder.entries[::2])
+        outcome = run_case(case.with_(perturbation=subset))
+        assert outcome.finished_cleanly and outcome.ok
+
+
+class TestPerturbationValidation:
+    def test_duplicate_entries_rejected(self):
+        entry = ("s", 0, 1, 0, 2.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            ReplayPerturbation([entry, entry])
+
+    def test_negative_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="invalid perturbation multiplier"):
+            ReplayPerturbation([("s", 0, 1, 0, -1.0)])
+
+    def test_invalid_recorder_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RecordingPerturbation(seed=0, rate=1.5)
+        with pytest.raises(ValueError):
+            RecordingPerturbation(seed=0, shrink_to=0.0)
+
+    def test_network_rejects_nonfinite_perturbed_delays(self):
+        class Hostile:
+            def perturb(self, scope, src, dst, now, delay):
+                return float("inf")
+
+        simulator = Simulator()
+        network = Network(simulator)
+
+        class Sink:
+            def __init__(self, pid):
+                self.pid = pid
+                self.crashed = False
+
+            def deliver(self, src, message):  # pragma: no cover - never reached
+                pass
+
+        network.register(Sink(0))
+        network.register(Sink(1))
+        network.perturbation = Hostile()
+        with pytest.raises(ValueError, match="perturbation produced invalid delay"):
+            network.send(0, 1, object())
+
+    def test_scopes_separate_choice_streams(self):
+        replay = ReplayPerturbation([("a", 0, 1, 0, 3.0)])
+        assert replay.perturb("b", 0, 1, 0.0, 1.0) == 1.0  # other scope untouched
+        assert replay.perturb("a", 0, 1, 0.0, 1.0) == 3.0
+
+
+class TestCaseSerde:
+    def test_case_round_trips_through_strict_json(self):
+        case = small_case(
+            perturbation=(("shard0:'k0'", 0, 1, 2, 2.5),),
+            crash_points=({"at": 3.0, "shard": 0, "replica": 1},),
+            partition={"replicas": [2], "start": 1.0, "heal": 5.0},
+            ops=(
+                CaseOp(kind="write", key="k0", value="k0=v1", at=0.0),
+                CaseOp(kind="read", key="k0", at=0.5, replica=2),
+            ),
+        )
+        text = case.to_json()
+        json.loads(text)  # strict JSON
+        assert ExploreCase.from_json(text) == case
+
+    def test_unknown_versions_and_kinds_rejected(self):
+        case = small_case()
+        payload = case.to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ExploreCase.from_dict(payload)
+        with pytest.raises(ValueError, match="kind"):
+            CaseOp.from_dict({"kind": "delete", "key": "k"})
+
+
+class TestCaseExecution:
+    def test_batch_and_staggered_modes_complete(self):
+        batch = run_case(small_case(arrival_gap=0.0))
+        staggered = run_case(small_case())
+        for outcome in (batch, staggered):
+            assert outcome.finished_cleanly
+            assert outcome.completed == 12
+            assert outcome.ok
+
+    def test_faults_apply(self):
+        case = small_case(
+            crash_points=({"at": 0.5, "shard": 0, "replica": 1}, {"at": 0.5, "shard": 1, "replica": 1}),
+            partition={"replicas": [2], "start": 1.0, "heal": 8.0},
+        )
+        outcome = run_case(case)
+        assert sum(len(s.crashed_replicas) for s in outcome.store.shards) == 2
+        assert outcome.store.fault_plan is not None
+        assert outcome.ok  # healthy ABD stays atomic under faults
+
+    def test_out_of_order_arrivals_rejected(self):
+        case = small_case(
+            ops=(
+                CaseOp(kind="read", key="k0", at=2.0),
+                CaseOp(kind="read", key="k0", at=1.0),
+            )
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            run_case(case)
+
+    def test_materialize_pins_times_and_replicas(self):
+        case = small_case()
+        outcome = run_case(case)
+        pinned = materialize_schedule(case, outcome)
+        assert all(op.at is not None for op in pinned.ops)
+        assert all(op.replica is not None for op in pinned.ops if op.kind == "read")
+        # Pinning must reproduce the execution exactly.
+        assert signature(run_case(pinned)) == signature(outcome)
+
+    def test_mutant_algorithms_install_on_demand(self):
+        install_mutations()
+        outcome = run_case(small_case(algorithm="abd-sloppy-write", arrival_gap=0.0))
+        assert outcome.finished_cleanly  # sloppy writes still terminate

@@ -1,0 +1,108 @@
+"""Strategy streams (determinism, budget-as-prefix) and the ddmin shrinker."""
+
+import pytest
+
+from repro.explore.config import ExploreConfig
+from repro.explore.shrink import ddmin
+from repro.explore.strategies import available_strategies, build_strategy
+
+
+def materialized(config, limit=None):
+    strategy = build_strategy(config)
+    cases = []
+    for case, recorder in strategy.cases():
+        cases.append((case, None if recorder is None else recorder.seed))
+        if limit is not None and len(cases) >= limit:
+            break
+    return cases
+
+
+class TestStrategyStreams:
+    @pytest.mark.parametrize("name", ["random-walk", "crash-sweep", "partition-sweep"])
+    def test_streams_are_deterministic(self, name):
+        config = ExploreConfig(strategy=name, budget=6, seed=3, num_ops=20)
+        assert materialized(config) == materialized(config)
+
+    @pytest.mark.parametrize("name", ["random-walk", "crash-sweep", "partition-sweep"])
+    def test_budget_is_a_prefix_not_a_different_stream(self, name):
+        small = ExploreConfig(strategy=name, budget=3, seed=3, num_ops=20)
+        large = ExploreConfig(strategy=name, budget=9, seed=3, num_ops=20)
+        assert materialized(small) == materialized(large, limit=3)
+
+    def test_every_strategy_is_listed_and_buildable(self):
+        assert available_strategies() == ["random-walk", "crash-sweep", "partition-sweep"]
+        for name in available_strategies():
+            build_strategy(ExploreConfig(strategy=name, budget=1))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError, match="unknown schedule strategy"):
+            build_strategy(ExploreConfig(strategy="exhaustive", budget=1))
+
+    def test_crash_sweep_requires_crash_tolerant_replication(self):
+        config = ExploreConfig(strategy="crash-sweep", budget=1, replication=2)
+        with pytest.raises(ValueError, match="replication"):
+            list(build_strategy(config).cases())
+
+    def test_sweep_cases_carry_their_fault_and_a_recorder(self):
+        crash_cases = materialized(ExploreConfig(strategy="crash-sweep", budget=4, num_ops=10))
+        for case, recorder_seed in crash_cases:
+            assert case.crash_points and case.crash_points[0]["replica"] >= 1
+            assert recorder_seed is not None
+        partition_cases = materialized(
+            ExploreConfig(strategy="partition-sweep", budget=4, num_ops=10)
+        )
+        for case, recorder_seed in partition_cases:
+            assert case.partition is not None
+            assert case.partition["heal"] > case.partition["start"]
+            assert recorder_seed is not None
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        items = list(range(40))
+        result = ddmin(items, lambda subset: 17 in subset)
+        assert result == [17]
+
+    def test_interacting_pair(self):
+        items = list(range(30))
+        result = ddmin(items, lambda subset: 3 in subset and 27 in subset)
+        assert result == [3, 27]
+
+    def test_preserves_order(self):
+        items = ["a", "b", "c", "d", "e"]
+        result = ddmin(items, lambda subset: "d" in subset and "b" in subset)
+        assert result == ["b", "d"]
+
+    def test_result_is_one_minimal(self):
+        items = list(range(20))
+        fails = lambda subset: sum(subset) >= 30  # noqa: E731
+        result = ddmin(items, fails)
+        assert fails(result)
+        for index in range(len(result)):
+            assert not fails(result[:index] + result[index + 1 :])
+
+    def test_deterministic(self):
+        items = list(range(25))
+        fails = lambda subset: len([i for i in subset if i % 5 == 0]) >= 2  # noqa: E731
+        assert ddmin(items, fails) == ddmin(items, fails)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_parameters(self):
+        for kwargs in (
+            {"budget": 0},
+            {"num_ops": 0},
+            {"num_keys": 0},
+            {"read_fraction": 1.5},
+            {"replication": 1},
+            {"arrival_gap": -1.0},
+            {"batch_size": 0},
+            {"max_counterexamples": -1},
+        ):
+            with pytest.raises(ValueError):
+                ExploreConfig(**kwargs)
+
+    def test_with_copies(self):
+        config = ExploreConfig()
+        assert config.with_(budget=7).budget == 7
+        assert config.budget == 20

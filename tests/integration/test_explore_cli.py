@@ -1,0 +1,92 @@
+"""Integration tests for the ``repro explore`` CLI."""
+
+import json
+
+from repro.cli import main
+
+
+class TestExploreCli:
+    def test_quick_healthy_run_is_green(self, capsys, tmp_path):
+        code = main(["explore", "--quick", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explore: abd" in out
+        assert "violations found" in out
+        assert not list(tmp_path.glob("explore_counterexample_*.json"))
+
+    def test_mutant_run_finds_shrinks_and_writes_artifact(self, capsys, tmp_path):
+        code = main(
+            [
+                "explore", "--quick", "--algorithm", "abd-sloppy-write",
+                "--expect-violation", "--out-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counterexample #1" in out
+        assert "replayed: yes" in out
+        artifacts = sorted(tmp_path.glob("explore_counterexample_*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["format"] == "repro-explore-counterexample"
+        assert payload["expected"]["failing_keys"]
+        assert payload["case"]["algorithm"] == "abd-sloppy-write"
+
+    def test_mutant_violation_without_expect_flag_fails(self, capsys, tmp_path):
+        code = main(
+            ["explore", "--quick", "--algorithm", "abd-sloppy-write", "--out-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "non-linearizable execution(s) found" in capsys.readouterr().err
+
+    def test_expect_violation_on_healthy_algorithm_fails(self, capsys, tmp_path):
+        code = main(
+            ["explore", "--quick", "--expect-violation", "--out-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "expected the explorer to find a violation" in capsys.readouterr().err
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "explore", "--quick", "--algorithm", "abd-sloppy-write",
+                    "--expect-violation", "--out-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        artifact = next(tmp_path.glob("explore_counterexample_*.json"))
+        code = main(["explore", "--replay", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reproduced: yes" in out
+
+    def test_replay_missing_file_is_a_usage_error(self, capsys):
+        assert main(["explore", "--replay", "/nonexistent/file.json"]) == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_unknown_algorithm_is_a_usage_error(self, capsys):
+        assert main(["explore", "--algorithm", "paxos"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_invalid_parameters_are_usage_errors(self, capsys):
+        assert main(["explore", "--budget", "0"]) == 2
+        assert "invalid exploration parameters" in capsys.readouterr().err
+
+    def test_deterministic_artifacts_across_runs(self, capsys, tmp_path):
+        for directory in ("a", "b"):
+            assert (
+                main(
+                    [
+                        "explore", "--quick", "--algorithm", "abd-sloppy-write",
+                        "--expect-violation", "--out-dir", str(tmp_path / directory),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        first = (tmp_path / "a" / "explore_counterexample_1.json").read_text()
+        second = (tmp_path / "b" / "explore_counterexample_1.json").read_text()
+        assert first == second

@@ -1,0 +1,126 @@
+"""Hand-crafted non-linearizable histories: the checker must reject them all.
+
+Each shape is written three times, in the value/cost-model idiom of each
+register family the harness runs — the paper's two-bit algorithm (small
+integer values), plain ABD (per-key ``"k=vN"`` strings, single writer) and
+MWMR ABD (writer-tagged values, two writers) — so a regression in any
+checker path (claims fast path, Wing–Gong engine, per-key partitioning)
+trips at least one of them.
+"""
+
+import pytest
+
+from repro.verification.history import make_history
+from repro.verification.linearizability import (
+    brute_force_is_linearizable,
+    check_histories_per_key,
+    check_linearizability,
+    find_linearization,
+)
+from repro.verification.register_checker import check_swmr_atomicity
+
+#: (family, initial value, first written value, second written value).
+COST_MODELS = [
+    ("two-bit", 0, 1, 2),
+    ("abd", "v0", "k0001=v1", "k0001=v2"),
+]
+
+
+def assert_rejected(history, swmr=True):
+    """Every engine must agree the history is not linearizable."""
+    result = check_linearizability(history)
+    assert not result.linearizable
+    assert result.witness is None
+    assert find_linearization(history) is None
+    assert not brute_force_is_linearizable(history)
+    if swmr:
+        claims = check_swmr_atomicity(history, raise_on_violation=False)
+        assert not claims.ok
+    report = check_histories_per_key({"k": history}, swmr_fast_path=swmr)
+    assert not report.ok and report.failing_keys() == ["k"]
+
+
+class TestStaleReadAfterAckedWrite:
+    """Claim 2: a write completed before the read started, yet the read
+    returns the older value — the sloppy-quorum failure mode."""
+
+    @pytest.mark.parametrize("family,initial,v1,_v2", COST_MODELS)
+    def test_swmr_families(self, family, initial, v1, _v2):
+        history = make_history(
+            [
+                (0, "write", v1, 0.0, 1.0),
+                (1, "read", initial, 2.0, 3.0),
+            ],
+            initial_value=initial,
+        )
+        assert_rejected(history)
+
+    def test_mwmr_family(self):
+        history = make_history(
+            [
+                (0, "write", "w0v1", 0.0, 1.0),
+                (1, "write", "w1v1", 2.0, 3.0),
+                (2, "read", "w0v1", 4.0, 5.0),
+            ],
+            initial_value="v0",
+        )
+        assert_rejected(history, swmr=False)
+
+
+class TestSplitBrainDoubleRead:
+    """Claim 3: two sequential reads straddling a slow write observe the
+    new value then the old one — the new/old inversion a missing
+    write-back (or a split-brain partition) produces."""
+
+    @pytest.mark.parametrize("family,initial,v1,_v2", COST_MODELS)
+    def test_swmr_families(self, family, initial, v1, _v2):
+        history = make_history(
+            [
+                (0, "write", v1, 0.0, 10.0),
+                (1, "read", v1, 1.0, 2.0),
+                (2, "read", initial, 3.0, 4.0),
+            ],
+            initial_value=initial,
+        )
+        assert_rejected(history)
+
+    def test_mwmr_family(self):
+        history = make_history(
+            [
+                (0, "write", "w0v1", 0.0, 10.0),
+                (1, "write", "w1v1", 0.0, 10.0),
+                (2, "read", "w0v1", 11.0, 12.0),
+                (3, "read", "v0", 13.0, 14.0),
+            ],
+            initial_value="v0",
+        )
+        assert_rejected(history, swmr=False)
+
+
+class TestReadFromTheFuture:
+    """Claim 1: a read returns a value whose write had not started yet."""
+
+    @pytest.mark.parametrize("family,initial,v1,_v2", COST_MODELS)
+    def test_swmr_families(self, family, initial, v1, _v2):
+        history = make_history(
+            [
+                (1, "read", v1, 0.0, 1.0),
+                (0, "write", v1, 5.0, 6.0),
+            ],
+            initial_value=initial,
+        )
+        assert_rejected(history)
+
+
+class TestDiagnosticsAreDeterministic:
+    def test_claims_diagnostics_stable_across_runs(self):
+        history = make_history(
+            [
+                (0, "write", "k=v1", 0.0, 1.0),
+                (1, "read", "v0", 2.0, 3.0),
+            ],
+            initial_value="v0",
+        )
+        first = check_histories_per_key({"k": history}).violations()
+        second = check_histories_per_key({"k": history}).violations()
+        assert first == second and first
