@@ -318,6 +318,8 @@ def cmd_store(args: argparse.Namespace) -> int:
             # Open-loop driving: the same key/op stream, arriving at seeded
             # times with mean rate --rate instead of batched submission.
             spec = spec.with_(arrival=args.arrival, arrival_rate=args.rate)
+        if args.workers != 1:
+            spec = spec.with_(workers=args.workers)
     except ValueError as exc:
         print(f"invalid store parameters: {exc}", file=sys.stderr)
         return 2
@@ -356,6 +358,10 @@ def cmd_store(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid store parameters: {exc}", file=sys.stderr)
         return 2
+    if result.worker_failure is not None:
+        print("parallel worker failure:", file=sys.stderr)
+        print(result.worker_failure, file=sys.stderr)
+        return 1
     crashes_fired = sum(len(shard.crashed_replicas) for shard in result.store.shards)
     report = result.check_atomicity(raise_on_violation=False)
     completed = result.completed_ops()
@@ -390,6 +396,8 @@ def cmd_store(args: argparse.Namespace) -> int:
         rows.insert(3, ["finished cleanly", "NO (virtual-time budget truncated the run)"])
     if spec.open_loop:
         rows.insert(4, ["offered load (ops/time-unit)", args.rate])
+    if spec.workers > 1:
+        rows.insert(2, ["worker processes", spec.workers])
     print(
         format_table(
             ["metric", "value"],
@@ -442,6 +450,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     # --- batched vs per-operation driving -------------------------------
     spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=19)
+    if args.workers > 1:
+        # Shard-parallel execution is bit-identical to serial runs, so the
+        # emitted baselines stay comparable; only wall_seconds moves.
+        spec = spec.with_(workers=args.workers)
     batched = run_kv_workload(spec.with_(batch_size=64))
     per_op = run_kv_workload(spec.with_(batch_size=1))
     batched.check_atomicity()
@@ -487,9 +499,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     sweep = []
     rows = []
     for rate in rates:
-        result = run_kv_workload(
-            kv_openloop(num_keys=num_keys, num_ops=num_ops, arrival_rate=rate, seed=8)
-        )
+        open_spec = kv_openloop(num_keys=num_keys, num_ops=num_ops, arrival_rate=rate, seed=8)
+        if args.workers > 1:
+            open_spec = open_spec.with_(workers=args.workers)
+        result = run_kv_workload(open_spec)
         result.check_atomicity()
         latency = result.metrics["latency"]["all"]
         sweep.append(
@@ -589,19 +602,60 @@ def _run_signature(result) -> list:
     return signature
 
 
+def _chaos_cell_payload(payload: tuple) -> dict:
+    """Run one chaos-sweep cell; module-level so the process pool can pickle it.
+
+    ``payload`` is ``(schedule_name, seed, quick, want_signature)``.  The cell
+    rebuilds its spec from the schedule registry by name (the builders are
+    closures, which don't pickle), runs and checks it, and returns the JSON
+    entry for ``BENCH_chaos.json`` plus — when ``want_signature`` — the
+    record-by-record signature the parent's reproducibility check compares
+    against its own re-run of the same cell.
+    """
+    from repro.workloads.kv import run_kv_workload
+
+    name, seed, quick, want_signature = payload
+    spec = dict(_chaos_schedules(quick))[name](seed)
+    result = run_kv_workload(spec)
+    report = result.check_atomicity(raise_on_violation=False)
+    entry = {
+        "schedule": name,
+        "seed": seed,
+        "fault_timeline": spec.fault_plan.timeline() if spec.fault_plan else [],
+        "server_crashes": [
+            {"at": point.at_time, "shard": point.shard, "replica": point.replica}
+            for point in spec.crash_points
+        ],
+        "completed": len(result.completed_ops()),
+        "failed": len(result.failed_ops()),
+        "atomic": report.ok,
+        "keys_checked": report.keys_checked,
+        "finished_cleanly": result.finished_cleanly,
+        "virtual_makespan": round(result.virtual_makespan, 3),
+        "virtual_throughput": _json_number(result.virtual_throughput()),
+        "messages": result.total_messages(),
+        "per_sender": result.store.stats.snapshot()["per_sender"],
+    }
+    return {
+        "entry": entry,
+        "ok": report.ok and result.finished_cleanly,
+        "signature": _run_signature(result) if want_signature else None,
+    }
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Sweep seeds x fault schedules; verify every run; emit ``BENCH_chaos.json``.
 
     Every cell runs the per-key linearizability checker; the sweep also
     re-runs its first cell and verifies the execution is reproducible
-    record-by-record.  The payload is strict JSON (``allow_nan=False``) so
-    downstream consumers can parse with ``parse_constant`` forbidden.
+    record-by-record (with ``--workers N`` that re-run happens in the parent
+    process, so the check doubles as a cross-process determinism probe).  The
+    payload is strict JSON (``allow_nan=False``) so downstream consumers can
+    parse with ``parse_constant`` forbidden.
     """
     import json
     import pathlib
     import platform
-
-    from repro.workloads.kv import run_kv_workload
 
     if args.seeds is not None and args.seeds < 1:
         print(f"--seeds must be at least 1, got {args.seeds}", file=sys.stderr)
@@ -612,59 +666,53 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     seeds = list(range(args.seeds if args.seeds is not None else (2 if quick else 3)))
     schedules = _chaos_schedules(quick)
 
+    # Cells are independent seeded runs: fan them out over the process pool
+    # when --workers asks for it, in the exact order the serial sweep uses so
+    # the emitted payload is byte-identical either way.
+    cells = [(name, seed) for name, _ in schedules for seed in seeds]
+    payloads = [
+        (name, seed, quick, index == 0) for index, (name, seed) in enumerate(cells)
+    ]
+    if args.workers > 1:
+        from repro.parallel import WorkerFailure, run_chunked
+
+        try:
+            outcomes = run_chunked(_chaos_cell_payload, payloads, args.workers)
+        except WorkerFailure as exc:
+            print(f"chaos sweep worker failed:\n{exc}", file=sys.stderr)
+            return 1
+    else:
+        outcomes = [_chaos_cell_payload(payload) for payload in payloads]
+
     runs = []
     rows = []
     failures = []
-    first_signature = None
-    for name, builder in schedules:
-        for seed in seeds:
-            spec = builder(seed)
-            result = run_kv_workload(spec)
-            report = result.check_atomicity(raise_on_violation=False)
-            if first_signature is None:
-                first_signature = (name, builder, seed, _run_signature(result))
-            completed = len(result.completed_ops())
-            failed = len(result.failed_ops())
-            entry = {
-                "schedule": name,
-                "seed": seed,
-                "fault_timeline": spec.fault_plan.timeline() if spec.fault_plan else [],
-                "server_crashes": [
-                    {"at": point.at_time, "shard": point.shard, "replica": point.replica}
-                    for point in spec.crash_points
-                ],
-                "completed": completed,
-                "failed": failed,
-                "atomic": report.ok,
-                "keys_checked": report.keys_checked,
-                "finished_cleanly": result.finished_cleanly,
-                "virtual_makespan": round(result.virtual_makespan, 3),
-                "virtual_throughput": _json_number(result.virtual_throughput()),
-                "messages": result.total_messages(),
-                "per_sender": result.store.stats.snapshot()["per_sender"],
-            }
-            runs.append(entry)
-            verdict = "ok" if report.ok and result.finished_cleanly else "FAIL"
-            if verdict != "ok":
-                failures.append(f"{name}/seed={seed}")
-            rows.append(
-                [
-                    name,
-                    seed,
-                    completed,
-                    failed,
-                    round(result.virtual_makespan, 1),
-                    "yes" if report.ok else "NO",
-                    verdict,
-                ]
-            )
+    for (name, seed), outcome in zip(cells, outcomes):
+        entry = outcome["entry"]
+        runs.append(entry)
+        verdict = "ok" if outcome["ok"] else "FAIL"
+        if verdict != "ok":
+            failures.append(f"{name}/seed={seed}")
+        rows.append(
+            [
+                name,
+                seed,
+                entry["completed"],
+                entry["failed"],
+                round(entry["virtual_makespan"], 1),
+                "yes" if entry["atomic"] else "NO",
+                verdict,
+            ]
+        )
 
     # Reproducibility: the same seeded spec must replay record-by-record.
-    name, builder, seed, signature = first_signature
-    replay = _run_signature(run_kv_workload(builder(seed)))
-    reproducible = replay == signature
+    # The parent re-runs the first cell itself, so under --workers this also
+    # certifies that a pool worker's execution matches an in-process one.
+    first_name, first_seed = cells[0]
+    replay = _chaos_cell_payload((first_name, first_seed, quick, True))
+    reproducible = replay["signature"] == outcomes[0]["signature"]
     if not reproducible:
-        failures.append(f"{name}/seed={seed} not reproducible")
+        failures.append(f"{first_name}/seed={first_seed} not reproducible")
 
     payload = {
         "benchmark": "chaos_fault_schedule_sweep",
@@ -753,6 +801,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             replication=args.replication,
             perturb_rate=args.perturb_rate,
             perturb_amplitude=args.perturb_amplitude,
+            workers=args.workers,
         )
         report = run_exploration(config)
     except (KeyError, ValueError) as exc:
@@ -921,6 +970,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable same-instant message coalescing (one heap event per message)",
     )
     sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for shard-parallel execution (default 1 = "
+            "in-process; N > 1 partitions shards into N groups, bit-identical "
+            "output)"
+        ),
+    )
     sub.set_defaults(handler=cmd_store)
 
     sub = subparsers.add_parser(
@@ -939,6 +998,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         dest="out_dir",
         help="directory for BENCH_chaos.json (default: current directory)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep's cells (default 1; same payload)",
     )
     sub.set_defaults(handler=cmd_chaos)
 
@@ -1007,6 +1072,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="out_dir",
         help="directory for counterexample artifacts (default: current directory)",
     )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the explored cases (default 1; same verdicts)",
+    )
     sub.set_defaults(handler=cmd_explore)
 
     sub = subparsers.add_parser(
@@ -1018,6 +1089,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         dest="out_dir",
         help="directory for the BENCH_*.json files (default: current directory)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the benchmark runs (default 1; payloads are "
+            "bit-identical either way, only wall_seconds moves)"
+        ),
     )
     sub.set_defaults(handler=cmd_bench)
 

@@ -50,8 +50,15 @@ class ExploreConfig:
     max_counterexamples: int = 1
     #: Per-key search budget for the Wing–Gong checker on explored runs.
     check_max_states: int = 1_000_000
+    #: Worker processes for the sweep (:mod:`repro.parallel`): cases are
+    #: independent seeded executions, so ``N > 1`` runs them on a process
+    #: pool.  Verdicts, counts and any shrunken counterexample are identical
+    #: to the serial sweep; ``1`` is exactly the serial loop.
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.budget < 1:
             raise ValueError(f"budget must be at least 1, got {self.budget}")
         if self.num_ops < 1:

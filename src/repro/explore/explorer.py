@@ -123,13 +123,74 @@ def _build_counterexample(
     return example
 
 
+def _explore_case_main(payload) -> Dict[str, Any]:
+    """Run one explored case in a pool worker (module-level for spawn).
+
+    Returns only what the parent's accounting needs: the verdict, the
+    checker counts, and the recorded perturbation entries — everything else
+    (materialization, shrinking, artifact building) happens in the parent by
+    deterministically replaying the recorded entries.
+    """
+    case, recorder, check_max_states = payload
+    outcome = run_case(case, perturbation=recorder, check_max_states=check_max_states)
+    return {
+        "ok": outcome.ok,
+        "operations_checked": outcome.report.operations_checked,
+        "states_explored": outcome.report.states_explored,
+        "entries": list(recorder.entries) if recorder is not None else None,
+    }
+
+
 def run_exploration(config: ExploreConfig) -> ExploreReport:
-    """Explore ``config.budget`` schedules; shrink and package any violation."""
+    """Explore ``config.budget`` schedules; shrink and package any violation.
+
+    ``config.workers > 1`` runs the sweep's cases on the
+    :mod:`repro.parallel` pool.  Cases are independent seeded executions, so
+    only the cheap fan-out changes: violating cases are replayed in the
+    parent from their recorded perturbation entries (the replay contract
+    makes that execution identical to the worker's), and materialization,
+    shrinking and artifact packaging run serially exactly as ``workers=1``
+    would — same counts, same counterexamples, byte for byte.
+    """
     if config.algorithm in MUTATIONS:
         install_mutations()
     strategy = build_strategy(config)
     report = ExploreReport(config=config)
     started = time.perf_counter()
+    if config.workers > 1:
+        from itertools import islice
+
+        from repro.parallel.pool import run_chunked
+
+        prepared = list(islice(strategy.cases(), config.budget))
+        summaries = run_chunked(
+            _explore_case_main,
+            [(case, recorder, config.check_max_states) for case, recorder in prepared],
+            config.workers,
+        )
+        for (case, recorder), summary in zip(prepared, summaries):
+            report.cases_run += 1
+            report.operations_checked += summary["operations_checked"]
+            report.states_explored += summary["states_explored"]
+            if summary["ok"]:
+                continue
+            concrete = (
+                case.with_(perturbation=tuple(tuple(entry) for entry in summary["entries"]))
+                if recorder is not None
+                else case
+            )
+            outcome = run_case(concrete, check_max_states=config.check_max_states)
+            concrete = materialize_schedule(concrete, outcome)
+            shrunken = shrink_case(
+                concrete,
+                lambda candidate: _case_fails(candidate, config.check_max_states),
+                focus_keys=[str(key) for key in outcome.failing_keys()],
+            )
+            report.counterexamples.append(_build_counterexample(config, concrete, shrunken))
+            if len(report.counterexamples) >= config.max_counterexamples > 0:
+                break
+        report.wall_seconds = time.perf_counter() - started
+        return report
     for case, recorder in strategy.cases():
         if report.cases_run >= config.budget:
             break

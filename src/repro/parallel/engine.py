@@ -1,0 +1,345 @@
+"""The shard-parallel store engine: one worker process per shard group.
+
+How a parallel run works
+------------------------
+The parent deals the store's shards into ``N`` disjoint round-robin groups
+(:meth:`~repro.store.shardmap.ShardMap.shard_groups`) and spawns one worker
+per group.  Every worker builds a *complete* store from the same spec — same
+placement, same fault plan, same crash schedule, same scripted operation
+stream — but only **submits the operations whose key lands in its own
+groups' shards**.  Because every subnet draws delays from its own scoped RNG
+stream (:meth:`~repro.sim.delays.DelayModel.scoped`) and subnets never
+exchange messages, each worker's subnets execute event-for-event what they
+would have executed inside the single-process run (DESIGN.md §10 gives the
+induction).
+
+The only shared resource is the virtual clock, synchronised at barriers:
+
+* **closed loop** — after each batch, every worker drives its slice to
+  completion, reports its local clock, receives the global maximum ``T`` and
+  calls :meth:`~repro.sim.scheduler.Simulator.run_before` — processing
+  everything strictly before ``T``, exactly the state the single-process
+  loop is in when it starts submitting the next batch;
+* **open loop** — arrivals carry absolute seeded times, so workers just
+  drive their filtered arrival stream against the *global* completion
+  budget, with a single final barrier for the merged makespan.
+
+Workers ship back their operations (with records), raw metrics samples and
+network-statistics snapshots; the parent reassembles them in scripted-index
+order into a :class:`~repro.parallel.merge.MergedStore` whose histories,
+checker verdicts and metrics are bit-identical to the serial run's.
+
+A worker that raises fails the run *fast*: the parent converts its traceback
+into a :class:`~repro.parallel.pool.WorkerFailure`, terminates the rest of
+the pool, and returns a result with ``finished_cleanly=False`` and the
+traceback in ``worker_failure`` — barriers never hang on a dead worker.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.exec.target import OpRequest
+from repro.parallel.merge import MergedStore, collector_raw_state, merge_metrics, merge_network_stats
+from repro.parallel.pool import (
+    WorkerFailure,
+    maybe_poison,
+    recv_message,
+    send_error,
+    spawn_context,
+    terminate_all,
+)
+from repro.registers.base import OperationKind
+
+
+def _barrier(conn: Any, simulator: Any, stuck: bool) -> float:
+    """Worker side of one clock barrier: report, then await the global max.
+
+    ``stuck`` reports that this group's drive ended with operations failed as
+    stuck (its event queue drained under them).  The serial loop handles that
+    case by draining the *global* queue before ``fail_stuck`` fires — its
+    clock ends at the last event anywhere in the system — so when any group
+    is stuck the parent broadcasts a ``drain`` round: every worker drains its
+    own residual events (the union of those queues *is* the serial queue) and
+    re-reports, and only then does the barrier take the max.
+    """
+    conn.send(("barrier", simulator.now, stuck))
+    while True:
+        kind, value = conn.recv()
+        if kind == "drain":
+            simulator.drain()
+            conn.send(("barrier", simulator.now, False))
+            continue
+        if kind != "advance":  # pragma: no cover - protocol invariant
+            raise RuntimeError(f"expected an advance message at the barrier, got {kind!r}")
+        return value
+
+
+def _run_group(conn: Any, spec, group_index: int, n_groups: int) -> Dict[str, Any]:
+    """Execute one shard group's slice of the workload (runs inside a worker)."""
+    from repro.store.store import KVStore
+    from repro.workloads.kv import generate_kv_arrivals, generate_kv_operations
+
+    # workers=1 on the worker's own store: each worker is itself a plain
+    # single-process store over the shards it owns.
+    store = KVStore(spec.store_config().with_(workers=1))
+    shard_map = store.shard_map
+    mine = set(shard_map.shard_groups(n_groups)[group_index])
+    if spec.fault_plan is not None:
+        store.install_fault_plan(spec.fault_plan)
+    # Crash points are scheduled in *every* worker: crashes are per-shard
+    # bookkeeping plus register-process crashes, so they are no-ops for
+    # shards the worker never deploys, and scheduling them all keeps the
+    # event-queue insertion order of setup-time events identical to the
+    # single-process run.
+    for point in spec.crash_points:
+        store.crash_server_at(
+            point.at_time, point.shard, point.replica, allow_writer=point.allow_writer
+        )
+    operations = generate_kv_operations(spec)
+    owned = [op for op in operations if shard_map.shard_of(op.key) in mine]
+
+    tracked: List[Tuple[int, Any]] = []  # (global scripted index, ExecOp)
+    batches = 0
+    if spec.open_loop:
+        # Arrivals keep their absolute seeded times; filtering a subsequence
+        # never changes when the surviving arrivals fire.
+        times = generate_kv_arrivals(spec)
+        arrivals = []
+        indices: List[int] = []
+        for at, scripted in zip(times, operations):
+            if shard_map.shard_of(scripted.key) not in mine:
+                continue
+            arrivals.append((at, OpRequest(kind=scripted.kind, key=scripted.key), scripted.value))
+            indices.append(scripted.index)
+        from repro.exec.clients import OpenLoopClient
+
+        client = OpenLoopClient(store.driver, store.target, arrivals)
+        client.start()
+        # The completion budget is anchored at the *global* last arrival —
+        # the same limit every worker (and the serial run) uses.
+        last_arrival = times[-1] if times else 0.0
+        drove_to_completion = client.drive(limit=last_arrival + spec.max_virtual_time)
+        finished = client.all_submitted and all(op.done for op in client.ops)
+        stuck = not drove_to_completion and store.simulator.pending_events == 0
+        tracked = list(zip(indices, client.ops))
+        batches = 1
+        store.simulator.run_before(_barrier(conn, store.simulator, stuck))
+    else:
+        for begin in range(0, len(operations), spec.batch_size):
+            for scripted in operations[begin : begin + spec.batch_size]:
+                if shard_map.shard_of(scripted.key) not in mine:
+                    continue
+                if scripted.kind is OperationKind.WRITE:
+                    op = store.submit_put(scripted.key, scripted.value)
+                else:
+                    op = store.submit_get(scripted.key)
+                tracked.append((scripted.index, op))
+            drove_to_completion = store.drive()
+            stuck = not drove_to_completion and store.simulator.pending_events == 0
+            batches += 1
+            store.simulator.run_before(_barrier(conn, store.simulator, stuck))
+        finished = all(op.done for _, op in tracked)
+
+    # on_done continuations (open-loop clients install them) close over the
+    # client and are not picklable; the run is over, drop them.
+    for _, op in tracked:
+        op.on_done = None
+    return {
+        "group": group_index,
+        "ops": tracked,
+        "metrics": collector_raw_state(store.driver.metrics),
+        "stats": store.stats.snapshot(),
+        "crashed": {shard.shard_id: sorted(shard.crashed_replicas) for shard in store.shards},
+        "now": store.simulator.now,
+        "executed_events": store.simulator.executed_events,
+        "batches": batches,
+        "finished": finished,
+    }
+
+
+def _store_worker_main(conn: Any, spec, group_index: int, n_groups: int) -> None:
+    """Spawn entry point for one shard-group worker."""
+    try:
+        maybe_poison("store-worker")
+        conn.send(("result", _run_group(conn, spec, group_index, n_groups)))
+    except BaseException:
+        send_error(conn)
+    finally:
+        conn.close()
+
+
+def run_kv_workload_parallel(spec):
+    """Run a keyed workload across ``spec.workers`` shard-group processes.
+
+    Returns the same :class:`~repro.workloads.kv.KVWorkloadResult` shape as
+    the serial :func:`~repro.workloads.kv.run_kv_workload`, with a
+    :class:`~repro.parallel.merge.MergedStore` in the ``store`` slot.  On a
+    worker crash the result comes back immediately with
+    ``finished_cleanly=False`` and the worker's traceback in
+    ``worker_failure``.
+    """
+    from repro.workloads.kv import KVWorkloadResult, run_kv_workload
+
+    # A group without shards would simulate nothing; never spawn more
+    # workers than shards.
+    n_groups = min(int(spec.workers), spec.num_shards)
+    if n_groups <= 1:
+        return run_kv_workload(spec.with_(workers=1))
+
+    started = time.perf_counter()
+    if spec.open_loop:
+        rounds = 1
+    else:
+        rounds = -(-spec.num_ops // spec.batch_size)  # ceil; 0 ops -> 0 rounds
+    ctx = spawn_context()
+    procs: List[Any] = []
+    conns: List[Any] = []
+    payloads: List[Dict[str, Any]] = []
+    failure: str = ""
+    try:
+        for group in range(n_groups):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_store_worker_main,
+                args=(child_conn, spec, group, n_groups),
+                name=f"repro-shard-group-{group}",
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        def collect_barrier() -> Tuple[float, bool]:
+            local_times = []
+            any_stuck = False
+            for proc, conn in zip(procs, conns):
+                message = recv_message(conn, proc, "a barrier time")
+                if message[0] == "error":
+                    raise WorkerFailure(
+                        f"worker {proc.name} raised mid-run", traceback_text=message[1]
+                    )
+                if message[0] != "barrier":  # pragma: no cover - protocol invariant
+                    raise WorkerFailure(f"worker {proc.name} sent {message[0]!r} at a barrier")
+                local_times.append(message[1])
+                any_stuck = any_stuck or message[2]
+            return max(local_times), any_stuck
+
+        for _ in range(rounds):
+            t_global, any_stuck = collect_barrier()
+            if any_stuck:
+                # A group failed operations as stuck.  The serial loop only
+                # does that after draining the whole global queue, so every
+                # group must drain its residuals before the clocks advance.
+                for conn in conns:
+                    conn.send(("drain", None))
+                t_global, _ = collect_barrier()
+            for conn in conns:
+                conn.send(("advance", t_global))
+        for proc, conn in zip(procs, conns):
+            kind, value = recv_message(conn, proc, "the run result")
+            if kind == "error":
+                raise WorkerFailure(
+                    f"worker {proc.name} raised while finishing", traceback_text=value
+                )
+            if kind != "result":  # pragma: no cover - protocol invariant
+                raise WorkerFailure(f"worker {proc.name} sent {kind!r} instead of a result")
+            payloads.append(value)
+        for proc in procs:
+            proc.join()
+    except WorkerFailure as exc:
+        failure = str(exc)
+        payloads = []
+    finally:
+        terminate_all(procs)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+    wall_seconds = time.perf_counter() - started
+
+    config = spec.store_config().with_(workers=1)
+    if failure:
+        store = MergedStore(
+            config=config,
+            ops=[],
+            stats=merge_network_stats([]),
+            metrics=merge_metrics(
+                [], merge_network_stats([]),
+                fault_timeline=spec.fault_plan.timeline() if spec.fault_plan else None,
+            ),
+            crashed={},
+            now=0.0,
+            executed_events=0,
+            fault_plan=spec.fault_plan,
+        )
+        return KVWorkloadResult(
+            spec=spec,
+            store=store,
+            ops=[],
+            wall_seconds=wall_seconds,
+            virtual_makespan=0.0,
+            batches=0,
+            arrivals=[],
+            metrics=store.metrics_snapshot(),
+            finished_cleanly=False,
+            worker_failure=failure,
+        )
+
+    # Reassemble the global submission order: scripted index == the op_id the
+    # serial driver would have assigned (submission order is scripted order in
+    # both loops).  Records ship verbatim — the per-process op counters inside
+    # them are reproduced identically by construction.
+    indexed: List[Tuple[int, Any]] = []
+    for payload in payloads:
+        indexed.extend(payload["ops"])
+    indexed.sort(key=lambda pair: pair[0])
+    ops = []
+    for index, op in indexed:
+        op.op_id = index
+        ops.append(op)
+
+    stats = merge_network_stats([payload["stats"] for payload in payloads])
+    metrics = merge_metrics(
+        [payload["metrics"] for payload in payloads],
+        stats,
+        fault_timeline=spec.fault_plan.timeline() if spec.fault_plan else None,
+    )
+    crashed: Dict[int, List[int]] = {}
+    for payload in payloads:
+        for shard_id, replicas in payload["crashed"].items():
+            merged = set(crashed.get(shard_id, ())) | set(replicas)
+            crashed[shard_id] = sorted(merged)
+    makespan = max(payload["now"] for payload in payloads)
+    store = MergedStore(
+        config=config,
+        ops=ops,
+        stats=stats,
+        metrics=metrics,
+        crashed=crashed,
+        now=makespan,
+        executed_events=sum(payload["executed_events"] for payload in payloads),
+        fault_plan=spec.fault_plan,
+    )
+    arrivals = list(generate_arrivals_if_open(spec))
+    return KVWorkloadResult(
+        spec=spec,
+        store=store,
+        ops=ops,
+        wall_seconds=wall_seconds,
+        virtual_makespan=makespan,
+        batches=max(payload["batches"] for payload in payloads),
+        arrivals=arrivals,
+        metrics=metrics,
+        finished_cleanly=all(payload["finished"] for payload in payloads),
+    )
+
+
+def generate_arrivals_if_open(spec) -> List[float]:
+    """The seeded arrival times for open-loop specs, ``[]`` for closed-loop."""
+    if not spec.open_loop:
+        return []
+    from repro.workloads.kv import generate_kv_arrivals
+
+    return generate_kv_arrivals(spec)

@@ -26,7 +26,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Mapping, Optional, Tuple
 
-from repro.sim.rng import make_rng
+from repro.sim.rng import derive_seed, make_rng
 
 
 class DelayModel(ABC):
@@ -47,6 +47,23 @@ class DelayModel(ABC):
         same :class:`~repro.workloads.spec.WorkloadSpec` reproduces the exact
         same delays even though delay models are stateful objects.  Stateless
         models simply return themselves.
+        """
+        return self
+
+    def scoped(self, scope: str) -> "DelayModel":
+        """Return an equivalent model whose RNG stream is private to ``scope``.
+
+        The sharded store gives every key's subnet a *scoped* delay model
+        (scope = the subnet name) so that a subnet's delay draws depend only
+        on its own send sequence, never on interleaving with other subnets.
+        That is what makes disjoint shard groups executable in separate
+        worker processes with bit-identical results (see
+        :mod:`repro.parallel`): the scoped seed is derived deterministically
+        from the model's own seed and the scope string, mirroring how
+        perturbation streams are scoped per subnet.
+
+        Stateless models (no RNG) return themselves; seeded models return a
+        fresh instance with a derived seed.
         """
         return self
 
@@ -93,6 +110,13 @@ class UniformDelay(DelayModel):
     def fresh(self) -> "UniformDelay":
         return UniformDelay(self.low, self.high, seed=self._seed)
 
+    def scoped(self, scope: str) -> "UniformDelay":
+        if self._seed is None:
+            return UniformDelay(self.low, self.high, seed=None)
+        return UniformDelay(
+            self.low, self.high, seed=derive_seed(self._seed, "scoped-delay", scope)
+        )
+
     def __repr__(self) -> str:
         return f"UniformDelay(low={self.low}, high={self.high})"
 
@@ -130,6 +154,10 @@ class ExponentialDelay(DelayModel):
     def fresh(self) -> "ExponentialDelay":
         return ExponentialDelay(base=self.base, mean=self.mean, cap=self.cap, seed=self._seed)
 
+    def scoped(self, scope: str) -> "ExponentialDelay":
+        seed = None if self._seed is None else derive_seed(self._seed, "scoped-delay", scope)
+        return ExponentialDelay(base=self.base, mean=self.mean, cap=self.cap, seed=seed)
+
     def __repr__(self) -> str:
         return f"ExponentialDelay(base={self.base}, mean={self.mean}, cap={self.cap})"
 
@@ -159,6 +187,10 @@ class JitteredDelay(DelayModel):
 
     def fresh(self) -> "JitteredDelay":
         return JitteredDelay(delta=self.delta, jitter=self.jitter, seed=self._seed)
+
+    def scoped(self, scope: str) -> "JitteredDelay":
+        seed = None if self._seed is None else derive_seed(self._seed, "scoped-delay", scope)
+        return JitteredDelay(delta=self.delta, jitter=self.jitter, seed=seed)
 
     def __repr__(self) -> str:
         return f"JitteredDelay(delta={self.delta}, jitter={self.jitter})"
@@ -194,6 +226,12 @@ class PerLinkDelay(DelayModel):
         return PerLinkDelay(
             default=self.default.fresh(),
             overrides={link: model.fresh() for link, model in self.overrides.items()},
+        )
+
+    def scoped(self, scope: str) -> "PerLinkDelay":
+        return PerLinkDelay(
+            default=self.default.scoped(scope),
+            overrides={link: model.scoped(scope) for link, model in self.overrides.items()},
         )
 
     def __repr__(self) -> str:

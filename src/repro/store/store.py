@@ -101,6 +101,18 @@ class StoreConfig:
         ``shard_algorithms[i]``; unset means every shard runs ``algorithm``.
         The shared quorum engine makes mixing algorithms under one workload
         cheap — this is what the ``kv_mixed`` scenario exercises.
+    workers:
+        Worker processes for shard-parallel execution (see
+        :mod:`repro.parallel`).  ``1`` (default) is the plain single-process
+        path; ``N > 1`` partitions shards into ``N`` disjoint groups and runs
+        each group in its own process.  Carried on the config so workloads
+        and the parallel engine can rebuild identical stores; a
+        :class:`KVStore` itself always simulates whatever shards it hosts in
+        one process.
+    max_events:
+        Event-count safety valve for the store's simulator (``None`` = the
+        :class:`~repro.sim.scheduler.Simulator` default).  Million-op runs
+        legitimately execute tens of millions of events and must raise it.
     """
 
     algorithm: str = "abd"
@@ -113,6 +125,8 @@ class StoreConfig:
     trace: bool = False
     coalesce: bool = True
     shard_algorithms: Optional[Tuple[str, ...]] = None
+    workers: int = 1
+    max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.shard_algorithms is not None and len(self.shard_algorithms) != self.num_shards:
@@ -120,6 +134,8 @@ class StoreConfig:
                 f"shard_algorithms has {len(self.shard_algorithms)} entries "
                 f"for {self.num_shards} shards; provide exactly one per shard"
             )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     def algorithm_for(self, shard: int) -> str:
         """The register algorithm keys of ``shard`` run."""
@@ -219,7 +235,12 @@ class KVStore:
         if config.shard_algorithms is not None:
             for name in config.shard_algorithms:
                 get_algorithm(name)
-        self.simulator = Simulator(tracer=Tracer(enabled=config.trace))
+        if config.max_events is not None:
+            self.simulator = Simulator(
+                tracer=Tracer(enabled=config.trace), max_events=config.max_events
+            )
+        else:
+            self.simulator = Simulator(tracer=Tracer(enabled=config.trace))
         delay = config.delay_model.fresh() if config.delay_model is not None else None
         # The root network hosts no processes itself; it provides the shared
         # clock, delay model, aggregate stats and the coalescing setting that
@@ -260,6 +281,13 @@ class KVStore:
         placement = self.shard_map.placement(key)
         shard = self.shards[placement.shard]
         subnet = Subnet(self.network, name=f"shard{placement.shard}:{key!r}")
+        # Every subnet gets a *scoped* delay stream derived from the model's
+        # seed and the subnet name: a subnet's delay draws then depend only on
+        # its own send sequence, never on interleaving with other subnets.
+        # This is what makes disjoint shard groups executable in separate
+        # worker processes with bit-identical histories (repro.parallel) —
+        # the same per-subnet scoping the explore perturbation streams use.
+        subnet.delay_model = self.network.delay_model.scoped(subnet.name)
         algorithm = get_algorithm(self.config.algorithm_for(placement.shard))
         processes = algorithm.build(
             self.simulator,
@@ -523,7 +551,10 @@ class KVStore:
         }
 
     def check_linearizability(
-        self, swmr_fast_path: bool = True, max_states: Optional[int] = None
+        self,
+        swmr_fast_path: bool = True,
+        max_states: Optional[int] = None,
+        workers: int = 1,
     ):
         """Check every key with the general linearizability checker.
 
@@ -532,11 +563,15 @@ class KVStore:
         default lets single-writer keys take the Lemma-10 claims fast path;
         ``swmr_fast_path=False`` forces the Wing–Gong search on every key
         (what the schedule explorer and the checker benchmark use).
+        ``workers > 1`` checks keys on a process pool (:mod:`repro.parallel`).
         """
         from repro.verification.linearizability import check_histories_per_key
 
         return check_histories_per_key(
-            self.histories(), swmr_fast_path=swmr_fast_path, max_states=max_states
+            self.histories(),
+            swmr_fast_path=swmr_fast_path,
+            max_states=max_states,
+            workers=workers,
         )
 
 

@@ -99,6 +99,16 @@ class KVWorkloadSpec:
     seed:
         Master seed for key choice, op mix, arrival times and think
         randomness.
+    workers:
+        Shard-parallel worker processes (:mod:`repro.parallel`).  ``1``
+        (default) runs the classic single-process path; ``N > 1`` partitions
+        the shards into ``N`` disjoint groups, runs each group's subnets in
+        its own process and merges the results — per-key histories, checker
+        verdicts and metrics are bit-identical to the serial run (the
+        differential suite in ``tests/parallel/`` enforces it).
+    max_events:
+        Per-process event-count safety valve (``None`` = auto: the simulator
+        default, scaled up for runs large enough to legitimately exceed it).
     """
 
     num_keys: int = 16
@@ -121,8 +131,12 @@ class KVWorkloadSpec:
     seed: int = 0
     initial_value: Any = "v0"
     max_virtual_time: float = 100_000.0
+    workers: int = 1
+    max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.num_keys < 1:
             raise ValueError("keyed workloads need at least one key")
         if self.num_ops < 0:
@@ -173,6 +187,13 @@ class KVWorkloadSpec:
 
     def store_config(self) -> StoreConfig:
         """The :class:`StoreConfig` this spec deploys."""
+        # Auto-scale the event-count safety valve: a quorum operation costs a
+        # couple dozen events, so million-op runs legitimately exceed the
+        # simulator's 5M default.  Only ever scale *up* — small runs keep the
+        # default valve and its message-storm protection.
+        max_events = self.max_events
+        if max_events is None and self.num_ops > 100_000:
+            max_events = 60 * self.num_ops
         return StoreConfig(
             algorithm=self.algorithm,
             num_shards=self.num_shards,
@@ -183,6 +204,8 @@ class KVWorkloadSpec:
             max_virtual_time=self.max_virtual_time,
             coalesce=self.coalesce,
             shard_algorithms=self.shard_algorithms,
+            workers=self.workers,
+            max_events=max_events,
         )
 
     def with_(self, **changes: object) -> "KVWorkloadSpec":
@@ -272,6 +295,10 @@ class KVWorkloadResult:
     #: with a reason (crashed replica) still count as a clean finish; they are
     #: reported via ``failed_ops`` instead.  Never silently truncate.
     finished_cleanly: bool = True
+    #: Shard-parallel runs only: when a worker process raised, the run fails
+    #: fast (``finished_cleanly=False``) and this carries the worker's
+    #: traceback.  ``None`` for serial runs and clean parallel runs.
+    worker_failure: Optional[str] = None
 
     def completed_ops(self) -> list[StoreOp]:
         """Operations that completed successfully."""
@@ -366,7 +393,15 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
     operation stream arrives at seeded times with mean rate
     ``spec.arrival_rate`` and one drive call runs the loop until every
     arrival has fired and completed.
+
+    ``spec.workers > 1`` dispatches to the shard-parallel engine
+    (:func:`repro.parallel.engine.run_kv_workload_parallel`); ``workers=1``
+    is exactly the code below.
     """
+    if spec.workers > 1:
+        from repro.parallel.engine import run_kv_workload_parallel
+
+        return run_kv_workload_parallel(spec)
     store = KVStore(spec.store_config())
     if spec.fault_plan is not None:
         store.install_fault_plan(spec.fault_plan)

@@ -1,0 +1,126 @@
+"""The bit-identity differential suite: workers=1 vs workers=N.
+
+The shard-parallel engine's contract is not "statistically similar" but
+**bit-identical**: for the same spec, a parallel run must produce the same
+per-key histories, the same checker verdicts, the same message totals and
+the same merged metrics as the serial run.  The single documented exception
+is the latency *mean*, where float summation order differs (see
+``repro.parallel.merge``) — compared here with a tight relative tolerance
+while every other metric field is compared exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.verification.linearizability import check_histories_per_key
+from repro.parallel import check_histories_parallel
+from repro.workloads.kv import run_kv_workload
+from repro.workloads.scenarios import kv_openloop, kv_partitioned, kv_uniform, kv_zipfian
+
+#: name -> (spec builder, worker count).  Builders (not specs) keep the
+#: collected test ids stable and the module import cheap.
+CASES = {
+    "uniform-w2": (lambda: kv_uniform(num_keys=12, num_ops=120, seed=5), 2),
+    "zipfian-w3": (lambda: kv_zipfian(num_keys=16, num_ops=120, seed=6), 3),
+    "openloop-w4": (
+        lambda: kv_openloop(num_keys=16, num_ops=120, arrival_rate=8.0, seed=7),
+        4,
+    ),
+    "faultplan-w2": (lambda: kv_partitioned(num_keys=10, num_ops=100, seed=8), 2),
+}
+
+
+def histories_dict(result):
+    return {str(key): history.to_dict() for key, history in result.store.histories().items()}
+
+
+def assert_metrics_identical(serial: dict, parallel: dict) -> None:
+    """Merged metrics == serial metrics; mean compared with rel_tol only."""
+    serial, parallel = dict(serial), dict(parallel)
+    serial_latency, parallel_latency = serial.pop("latency"), parallel.pop("latency")
+    assert serial == parallel
+    assert sorted(serial_latency) == sorted(parallel_latency)
+    for kind, summary in serial_latency.items():
+        other = parallel_latency[kind]
+        if summary is None or other is None:
+            assert summary == other, kind
+            continue
+        for field, value in summary.items():
+            if field == "mean":
+                assert math.isclose(value, other[field], rel_tol=1e-9), kind
+            else:
+                assert value == other[field], (kind, field)
+
+
+class TestDifferentialBitIdentity:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_parallel_run_is_bit_identical_to_serial(self, name):
+        build, workers = CASES[name]
+        serial = run_kv_workload(build())
+        parallel = run_kv_workload(build().with_(workers=workers))
+        assert parallel.worker_failure is None
+        assert histories_dict(serial) == histories_dict(parallel)
+        assert serial.virtual_makespan == parallel.virtual_makespan
+        assert serial.total_messages() == parallel.total_messages()
+        assert serial.finished_cleanly == parallel.finished_cleanly
+        assert serial.batches == parallel.batches
+        assert serial.arrivals == parallel.arrivals
+        assert_metrics_identical(serial.metrics, parallel.metrics)
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_checker_verdicts_identical(self, name):
+        build, workers = CASES[name]
+        serial = run_kv_workload(build())
+        parallel = run_kv_workload(build().with_(workers=workers))
+        serial_report = serial.check_atomicity(raise_on_violation=False)
+        parallel_report = parallel.check_atomicity(raise_on_violation=False)
+        assert serial_report.ok == parallel_report.ok
+        assert serial_report.keys_checked == parallel_report.keys_checked
+        serial_lin = serial.store.check_linearizability()
+        parallel_lin = parallel.store.check_linearizability()
+        assert serial_lin.ok == parallel_lin.ok
+        assert serial_lin.operations_checked == parallel_lin.operations_checked
+        assert serial_lin.states_explored == parallel_lin.states_explored
+
+    def test_network_stats_merge_matches_serial_snapshot(self):
+        build, workers = CASES["uniform-w2"]
+        serial = run_kv_workload(build()).store.stats.snapshot()
+        parallel = run_kv_workload(build().with_(workers=workers)).store.stats.snapshot()
+        assert serial == parallel
+
+    def test_more_workers_than_shards_degrades_gracefully(self):
+        # kv_uniform deploys 4 shards; 9 workers must clamp to 4 groups and
+        # still produce the identical run.
+        serial = run_kv_workload(kv_uniform(num_keys=8, num_ops=80, seed=9))
+        parallel = run_kv_workload(kv_uniform(num_keys=8, num_ops=80, seed=9).with_(workers=9))
+        assert histories_dict(serial) == histories_dict(parallel)
+        assert serial.virtual_makespan == parallel.virtual_makespan
+
+
+class TestParallelChecker:
+    def test_verdicts_and_counts_match_serial_checker(self):
+        result = run_kv_workload(kv_zipfian(num_keys=12, num_ops=120, seed=10))
+        histories = result.store.histories()
+        serial = check_histories_per_key(histories)
+        parallel = check_histories_parallel(histories, workers=3)
+        assert serial.ok == parallel.ok
+        assert serial.keys_checked == parallel.keys_checked
+        assert serial.operations_checked == parallel.operations_checked
+        assert serial.states_explored == parallel.states_explored
+        assert sorted(map(str, serial.per_key)) == sorted(map(str, parallel.per_key))
+        for key, verdict in serial.per_key.items():
+            other = parallel.per_key[key]
+            assert verdict.linearizable == other.linearizable, key
+            assert verdict.operations == other.operations, key
+            assert verdict.states_explored == other.states_explored, key
+            assert verdict.method == other.method, key
+            assert verdict.violations == other.violations, key
+
+    def test_workers_flag_on_store_checker_dispatches_identically(self):
+        store = run_kv_workload(kv_uniform(num_keys=10, num_ops=100, seed=11)).store
+        serial = store.check_linearizability(workers=1)
+        parallel = store.check_linearizability(workers=2)
+        assert serial.ok == parallel.ok
+        assert serial.operations_checked == parallel.operations_checked
+        assert serial.states_explored == parallel.states_explored
