@@ -398,6 +398,7 @@ def cmd_store(args: argparse.Namespace) -> int:
         rows.insert(4, ["offered load (ops/time-unit)", args.rate])
     if spec.workers > 1:
         rows.insert(2, ["worker processes", spec.workers])
+        rows.insert(3, ["worker->parent transfer", f"{result.ipc_bytes} bytes (columnar)"])
     print(
         format_table(
             ["metric", "value"],

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.driver import Driver, ExecOp
 from repro.exec.target import OpRequest, Target
@@ -177,42 +177,55 @@ class IsolatedClient:
 # ---------------------------------------------------------------- open loop
 
 
-def poisson_arrival_times(rng: Random, rate: float, count: int, start: float = 0.0) -> List[float]:
-    """``count`` seeded Poisson-process arrival times at ``rate`` ops/time-unit."""
-    if rate <= 0:
-        raise ValueError(f"arrival rate must be positive, got {rate}")
-    times: List[float] = []
+def _poisson_stream(rng: Random, rate: float, count: int, start: float) -> Iterator[float]:
     t = start
     for _ in range(count):
         t += rng.expovariate(rate)
-        times.append(t)
-    return times
+        yield t
+
+
+def _uniform_stream(rng: Random, rate: float, count: int, start: float) -> Iterator[float]:
+    spread = 2.0 / rate
+    t = start
+    for _ in range(count):
+        t += rng.uniform(0.0, spread)
+        yield t
+
+
+def iter_arrival_times(
+    process_name: str, rng: Random, rate: float, count: int, start: float = 0.0
+) -> Iterator[float]:
+    """Lazy arrival-time stream for ``process_name`` (``"poisson"``/``"uniform"``).
+
+    Argument validation happens eagerly (here, not at first ``next``); the
+    times themselves are drawn one at a time from ``rng``, so a million-op
+    schedule never exists as a list unless a caller materializes it.
+    """
+    if process_name not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {process_name!r}; choose from {ARRIVAL_PROCESSES}"
+        )
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    stream = _poisson_stream if process_name == "poisson" else _uniform_stream
+    return stream(rng, rate, count, start)
+
+
+def poisson_arrival_times(rng: Random, rate: float, count: int, start: float = 0.0) -> List[float]:
+    """``count`` seeded Poisson-process arrival times at ``rate`` ops/time-unit."""
+    return list(iter_arrival_times("poisson", rng, rate, count, start=start))
 
 
 def uniform_arrival_times(rng: Random, rate: float, count: int, start: float = 0.0) -> List[float]:
     """``count`` arrivals with interarrival ~ U(0, 2/rate) (mean rate ``rate``)."""
-    if rate <= 0:
-        raise ValueError(f"arrival rate must be positive, got {rate}")
-    spread = 2.0 / rate
-    times: List[float] = []
-    t = start
-    for _ in range(count):
-        t += rng.uniform(0.0, spread)
-        times.append(t)
-    return times
+    return list(iter_arrival_times("uniform", rng, rate, count, start=start))
 
 
 def arrival_times(
     process_name: str, rng: Random, rate: float, count: int, start: float = 0.0
 ) -> List[float]:
     """Dispatch on the arrival-process name (``"poisson"`` or ``"uniform"``)."""
-    if process_name == "poisson":
-        return poisson_arrival_times(rng, rate, count, start=start)
-    if process_name == "uniform":
-        return uniform_arrival_times(rng, rate, count, start=start)
-    raise ValueError(
-        f"unknown arrival process {process_name!r}; choose from {ARRIVAL_PROCESSES}"
-    )
+    return list(iter_arrival_times(process_name, rng, rate, count, start=start))
 
 
 class OpenLoopClient:
@@ -228,31 +241,52 @@ class OpenLoopClient:
         self,
         driver: Driver,
         target: Target,
-        arrivals: Sequence[Tuple[float, OpRequest, Any]],
+        arrivals: Iterable[Tuple[float, OpRequest, Any]],
     ) -> None:
-        """``arrivals``: (time, request, value) triples in non-decreasing time order."""
+        """``arrivals``: (time, request, value) triples in non-decreasing time order.
+
+        Any iterable is accepted and consumed **lazily**, one triple ahead of
+        the firing front — startup memory is O(1) in the number of arrivals,
+        so a million-op schedule can stream straight from its seeded
+        generator.  A ``Sequence`` is still validated eagerly (the historical
+        contract: a bad list raises here, not mid-run); generators are
+        validated triple-by-triple as they are pulled.
+        """
         self.driver = driver
         self.target = target
-        self.arrivals = list(arrivals)
-        for earlier, later in zip(self.arrivals, self.arrivals[1:]):
-            if later[0] < earlier[0]:
-                raise ValueError("arrival times must be non-decreasing")
+        if isinstance(arrivals, Sequence):
+            for earlier, later in zip(arrivals, arrivals[1:]):
+                if later[0] < earlier[0]:
+                    raise ValueError("arrival times must be non-decreasing")
         self.ops: List[ExecOp] = []
-        self._next = 0
+        self._source = iter(arrivals)
+        self._fired = 0
         self._open = 0
+        self._last_time: Optional[float] = None
+        self._pending = self._pull()
+
+    def _pull(self) -> Optional[Tuple[float, OpRequest, Any]]:
+        """Fetch the next arrival triple, enforcing non-decreasing times."""
+        triple = next(self._source, None)
+        if triple is None:
+            return None
+        if self._last_time is not None and triple[0] < self._last_time:
+            raise ValueError("arrival times must be non-decreasing")
+        self._last_time = triple[0]
+        return triple
 
     def start(self) -> None:
         """Schedule the first arrival (subsequent ones chain event-by-event)."""
-        if not self.arrivals:
+        if self._pending is None:
             return
         simulator = self.driver.simulator
-        at = max(self.arrivals[0][0], simulator.now)
+        at = max(self._pending[0], simulator.now)
         simulator.schedule_at(at, self._fire, label="open-loop arrival 0")
 
     def _fire(self) -> None:
-        index = self._next
-        at, request, value = self.arrivals[index]
-        self._next = index + 1
+        _at, request, value = self._pending
+        self._fired += 1
+        self._pending = self._pull()
         process = self.target.route(request)
         op = self.driver.new_op(request.kind, value=value, key=request.key, on_done=self._op_done)
         self.ops.append(op)
@@ -260,10 +294,10 @@ class OpenLoopClient:
         # the count) when the op fails at issue time.
         self._open += 1
         self.driver.submit(process, op)
-        if self._next < len(self.arrivals):
+        if self._pending is not None:
             simulator = self.driver.simulator
-            next_at = max(self.arrivals[self._next][0], simulator.now)
-            simulator.schedule_at(next_at, self._fire, label=f"open-loop arrival {self._next}")
+            next_at = max(self._pending[0], simulator.now)
+            simulator.schedule_at(next_at, self._fire, label=f"open-loop arrival {self._fired}")
 
     def _op_done(self, _op: ExecOp) -> None:
         self._open -= 1
@@ -271,7 +305,7 @@ class OpenLoopClient:
     @property
     def all_submitted(self) -> bool:
         """True once every arrival has fired."""
-        return self._next >= len(self.arrivals)
+        return self._pending is None
 
     @property
     def done(self) -> bool:

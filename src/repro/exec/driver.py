@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.exec.metrics import MetricsCollector
+from repro.exec.oplog import OpLog
 from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
 from repro.sim.process import ProcessCrashedError
 from repro.sim.scheduler import Simulator
@@ -109,9 +110,14 @@ class Driver:
         self,
         simulator: Simulator,
         metrics: Optional[MetricsCollector] = None,
+        oplog: Optional[OpLog] = None,
     ) -> None:
         self.simulator = simulator
         self.metrics = metrics
+        #: Optional columnar operation log, written in place as the run
+        #: executes (row index == ``op_id``).  The store attaches one so its
+        #: history/checking plane never has to walk the ExecOp object graph.
+        self.oplog = oplog
         #: Fault-plane awareness: when a fault plan with scheduled heals is
         #: installed, this is set to an absolute virtual time a ``drive``
         #: limit must not undercut (last heal + settle budget).  Without it,
@@ -139,6 +145,8 @@ class Driver:
         """Create (and track) a fresh operation future."""
         op = ExecOp(op_id=next(self._op_counter), kind=kind, key=key, value=value, on_done=on_done)
         self.ops.append(op)
+        if self.oplog is not None:
+            self.oplog.note_created(kind, key, value)
         return op
 
     def submit(self, process: RegisterProcess, op: ExecOp) -> ExecOp:
@@ -147,6 +155,8 @@ class Driver:
         if queue is None:
             queue = self._queues[process] = deque()
         op.submitted_at = self.simulator.now
+        if self.oplog is not None:
+            self.oplog.note_submitted(op.op_id, op.submitted_at)
         queue.append(op)
         self._outstanding += 1
         if len(queue) == 1:
@@ -172,6 +182,8 @@ class Driver:
                 queue.popleft()
                 op.failed = True
                 op.failure_reason = f"replica p{process.pid} crashed before issuing"
+                if self.oplog is not None:
+                    self.oplog.note_failed(op.op_id, op.failure_reason)
                 self._outstanding -= 1
                 if self.metrics is not None:
                     self.metrics.note_failed()
@@ -181,6 +193,10 @@ class Driver:
             self.records.append(record)
             if op.record is None:  # the callback may have fired synchronously
                 op.record = record
+            if self.oplog is not None:
+                # Issue and completion touch disjoint columns, so a callback
+                # that fired synchronously (before this line) is harmless.
+                self.oplog.note_issued(op.op_id, record)
             if self.metrics is not None:
                 self.metrics.note_issued(record.invoked_at)
             return
@@ -190,6 +206,8 @@ class Driver:
         op = queue.popleft()
         if op.record is None:
             op.record = record
+        if self.oplog is not None:
+            self.oplog.note_completed(op.op_id, record)
         self._outstanding -= 1
         if self.metrics is not None:
             # Sojourn latency (queueing + service) is what a client observes;
@@ -246,6 +264,8 @@ class Driver:
                     f"stalled on replica p{process.pid}"
                     f" (crashed={process.crashed}); event queue drained"
                 )
+                if self.oplog is not None:
+                    self.oplog.note_failed(op.op_id, op.failure_reason)
                 self._outstanding -= 1
                 if self.metrics is not None:
                     self.metrics.note_failed()

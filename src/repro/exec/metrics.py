@@ -21,31 +21,39 @@ layer, which imports this package) — the percentile helper is local.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from array import array
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.registers.base import OperationKind
 from repro.sim.network import Network
 
 
-def nearest_rank(values: List[float], fraction: float) -> float:
+def nearest_rank(values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of a non-empty sample (``fraction`` in [0, 1])."""
     if not values:
         raise ValueError("cannot take a percentile of an empty sample")
-    ordered = sorted(values)
+    return _rank_in_sorted(sorted(values), fraction)
+
+
+def _rank_in_sorted(ordered: Sequence[float], fraction: float) -> float:
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
 
 
-def _latency_summary(latencies: List[float]) -> Optional[Dict[str, float]]:
+def _latency_summary(latencies: Sequence[float]) -> Optional[Dict[str, float]]:
     if not latencies:
         return None
+    # The mean sums in insertion order (float addition is not associative, and
+    # snapshots are compared bit-for-bit against goldens); everything else
+    # indexes into a single sorted copy instead of re-sorting per percentile.
+    ordered = sorted(latencies)
     return {
         "count": len(latencies),
         "mean": sum(latencies) / len(latencies),
-        "p50": nearest_rank(latencies, 0.50),
-        "p95": nearest_rank(latencies, 0.95),
-        "p99": nearest_rank(latencies, 0.99),
-        "max": max(latencies),
+        "p50": _rank_in_sorted(ordered, 0.50),
+        "p95": _rank_in_sorted(ordered, 0.95),
+        "p99": _rank_in_sorted(ordered, 0.99),
+        "max": ordered[-1],
     }
 
 
@@ -67,10 +75,12 @@ class MetricsCollector:
         self.last_completion_at: Optional[float] = None
         # Pre-keyed for the classic kinds (so snapshots always report them),
         # but open: note_completed accepts any OperationKind-like value and
-        # creates its bucket on first use.
-        self._latencies: Dict[OperationKind, List[float]] = {
-            OperationKind.READ: [],
-            OperationKind.WRITE: [],
+        # creates its bucket on first use.  Buckets are ``array('d')`` — 8
+        # bytes per sample, no per-float object — so a million-op run keeps
+        # its latency tape in a few flat buffers.
+        self._latencies: Dict[OperationKind, array] = {
+            OperationKind.READ: array("d"),
+            OperationKind.WRITE: array("d"),
         }
         #: Fault-timeline annotation (set when a fault plan is installed):
         #: the plain-dict entries of :meth:`repro.faults.FaultPlan.timeline`,
@@ -94,7 +104,7 @@ class MetricsCollector:
             # setdefault, not direct indexing: operation kinds beyond
             # READ/WRITE (scans, CAS extensions, ...) must grow a bucket,
             # not raise KeyError on their first completion.
-            self._latencies.setdefault(kind, []).append(latency)
+            self._latencies.setdefault(kind, array("d")).append(latency)
 
     def note_failed(self) -> None:
         self.failed += 1

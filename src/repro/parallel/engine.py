@@ -24,10 +24,14 @@ The only shared resource is the virtual clock, synchronised at barriers:
   drive their filtered arrival stream against the *global* completion
   budget, with a single final barrier for the merged makespan.
 
-Workers ship back their operations (with records), raw metrics samples and
-network-statistics snapshots; the parent reassembles them in scripted-index
-order into a :class:`~repro.parallel.merge.MergedStore` whose histories,
-checker verdicts and metrics are bit-identical to the serial run's.
+Workers ship back their run as **raw columns**: the driver's
+:class:`~repro.exec.oplog.OpLog` crosses the pipe as pickle protocol 5
+out-of-band buffers (one flat byte block per column plus the interned value
+table), alongside raw metrics samples and network-statistics snapshots.  The
+parent concatenates the column blocks, permutes rows into scripted-index
+order and wraps them in a :class:`~repro.parallel.merge.MergedStore` whose
+histories, checker verdicts and metrics are bit-identical to the serial
+run's — no per-operation object is ever pickled or rebuilt.
 
 A worker that raises fails the run *fast*: the parent converts its traceback
 into a :class:`~repro.parallel.pool.WorkerFailure`, terminates the rest of
@@ -37,9 +41,12 @@ traceback in ``worker_failure`` — barriers never hang on a dead worker.
 
 from __future__ import annotations
 
+import itertools
 import time
+from array import array
 from typing import Any, Dict, List, Tuple
 
+from repro.exec.oplog import OpLog, decode_oplog, encode_oplog, transfer_size
 from repro.exec.target import OpRequest
 from repro.parallel.merge import MergedStore, collector_raw_state, merge_metrics, merge_network_stats
 from repro.parallel.pool import (
@@ -79,7 +86,7 @@ def _barrier(conn: Any, simulator: Any, stuck: bool) -> float:
 def _run_group(conn: Any, spec, group_index: int, n_groups: int) -> Dict[str, Any]:
     """Execute one shard group's slice of the workload (runs inside a worker)."""
     from repro.store.store import KVStore
-    from repro.workloads.kv import generate_kv_arrivals, generate_kv_operations
+    from repro.workloads.kv import iter_kv_arrivals, iter_kv_operations, last_kv_arrival
 
     # workers=1 on the worker's own store: each worker is itself a plain
     # single-process store over the shards it owns.
@@ -97,38 +104,46 @@ def _run_group(conn: Any, spec, group_index: int, n_groups: int) -> Dict[str, An
         store.crash_server_at(
             point.at_time, point.shard, point.replica, allow_writer=point.allow_writer
         )
-    operations = generate_kv_operations(spec)
-    owned = [op for op in operations if shard_map.shard_of(op.key) in mine]
 
     tracked: List[Tuple[int, Any]] = []  # (global scripted index, ExecOp)
     batches = 0
     if spec.open_loop:
         # Arrivals keep their absolute seeded times; filtering a subsequence
-        # never changes when the surviving arrivals fire.
-        times = generate_kv_arrivals(spec)
-        arrivals = []
+        # never changes when the surviving arrivals fire.  The schedule
+        # streams straight from its seeded generators — the full scripted
+        # list never exists in the worker.
         indices: List[int] = []
-        for at, scripted in zip(times, operations):
-            if shard_map.shard_of(scripted.key) not in mine:
-                continue
-            arrivals.append((at, OpRequest(kind=scripted.kind, key=scripted.key), scripted.value))
-            indices.append(scripted.index)
+
+        def owned_arrivals():
+            for at, scripted in zip(iter_kv_arrivals(spec), iter_kv_operations(spec)):
+                if shard_map.shard_of(scripted.key) not in mine:
+                    continue
+                indices.append(scripted.index)
+                yield (at, OpRequest(kind=scripted.kind, key=scripted.key), scripted.value)
+
         from repro.exec.clients import OpenLoopClient
 
-        client = OpenLoopClient(store.driver, store.target, arrivals)
+        client = OpenLoopClient(store.driver, store.target, owned_arrivals())
         client.start()
         # The completion budget is anchored at the *global* last arrival —
         # the same limit every worker (and the serial run) uses.
-        last_arrival = times[-1] if times else 0.0
-        drove_to_completion = client.drive(limit=last_arrival + spec.max_virtual_time)
+        drove_to_completion = client.drive(limit=last_kv_arrival(spec) + spec.max_virtual_time)
         finished = client.all_submitted and all(op.done for op in client.ops)
         stuck = not drove_to_completion and store.simulator.pending_events == 0
+        # The client pre-pulls one arrival, so on truncation ``indices`` may
+        # run one entry past the fired ops; zip clips it.
         tracked = list(zip(indices, client.ops))
         batches = 1
         store.simulator.run_before(_barrier(conn, store.simulator, stuck))
     else:
-        for begin in range(0, len(operations), spec.batch_size):
-            for scripted in operations[begin : begin + spec.batch_size]:
+        # Every worker walks every batch window (even ones it owns nothing
+        # in): the barrier count must match across workers and the parent.
+        stream = iter_kv_operations(spec)
+        while True:
+            batch = list(itertools.islice(stream, spec.batch_size))
+            if not batch:
+                break
+            for scripted in batch:
                 if shard_map.shard_of(scripted.key) not in mine:
                     continue
                 if scripted.kind is OperationKind.WRITE:
@@ -142,13 +157,16 @@ def _run_group(conn: Any, spec, group_index: int, n_groups: int) -> Dict[str, An
             store.simulator.run_before(_barrier(conn, store.simulator, stuck))
         finished = all(op.done for _, op in tracked)
 
-    # on_done continuations (open-loop clients install them) close over the
-    # client and are not picklable; the run is over, drop them.
-    for _, op in tracked:
-        op.on_done = None
+    # Ship the run as raw columns: the scripted global index of each oplog
+    # row rides along so the parent can reassemble global submission order
+    # by permutation instead of sorting an object graph.
+    log = store.driver.oplog
+    global_index = array("q", bytes(8 * len(log)))  # zero-filled
+    for index, op in tracked:
+        global_index[op.op_id] = index
     return {
         "group": group_index,
-        "ops": tracked,
+        "columnar": encode_oplog(log, global_index),
         "metrics": collector_raw_state(store.driver.metrics),
         "stats": store.stats.snapshot(),
         "crashed": {shard.shard_id: sorted(shard.crashed_replicas) for shard in store.shards},
@@ -263,7 +281,7 @@ def run_kv_workload_parallel(spec):
     if failure:
         store = MergedStore(
             config=config,
-            ops=[],
+            oplog=None,
             stats=merge_network_stats([]),
             metrics=merge_metrics(
                 [], merge_network_stats([]),
@@ -287,18 +305,25 @@ def run_kv_workload_parallel(spec):
             worker_failure=failure,
         )
 
-    # Reassemble the global submission order: scripted index == the op_id the
-    # serial driver would have assigned (submission order is scripted order in
-    # both loops).  Records ship verbatim — the per-process op counters inside
-    # them are reproduced identically by construction.
-    indexed: List[Tuple[int, Any]] = []
+    # Reassemble the global submission order from the raw columns: each
+    # worker's oplog concatenates in pool order, then one permutation sorts
+    # the rows by scripted index — after which row ``i`` is exactly the op
+    # the serial driver would have created ``i``-th (submission order is
+    # scripted order in both loops).  No object graph ever crosses the pipe;
+    # ``ipc_bytes`` is the whole worker→parent result-plane bill.
+    merged_log = OpLog()
+    scripted_index = array("q")
+    ipc_bytes = 0
     for payload in payloads:
-        indexed.extend(payload["ops"])
-    indexed.sort(key=lambda pair: pair[0])
-    ops = []
-    for index, op in indexed:
-        op.op_id = index
-        ops.append(op)
+        blob, column_buffers = payload["columnar"]
+        ipc_bytes += transfer_size(blob, column_buffers)
+        part, part_index = decode_oplog(blob, column_buffers)
+        merged_log.extend_remapped(part)
+        if part_index is not None:
+            scripted_index.extend(part_index)
+    order = sorted(range(len(scripted_index)), key=scripted_index.__getitem__)
+    oplog = merged_log.reordered(order)
+    ops = oplog.ops_view()
 
     stats = merge_network_stats([payload["stats"] for payload in payloads])
     metrics = merge_metrics(
@@ -314,7 +339,7 @@ def run_kv_workload_parallel(spec):
     makespan = max(payload["now"] for payload in payloads)
     store = MergedStore(
         config=config,
-        ops=ops,
+        oplog=oplog,
         stats=stats,
         metrics=metrics,
         crashed=crashed,
@@ -333,6 +358,7 @@ def run_kv_workload_parallel(spec):
         arrivals=arrivals,
         metrics=metrics,
         finished_cleanly=all(payload["finished"] for payload in payloads),
+        ipc_bytes=ipc_bytes,
     )
 
 

@@ -26,15 +26,15 @@ indistinguishable from a single-process run:
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Any, Dict, List, Optional
 
-from repro.exec.driver import ExecOp
 from repro.exec.metrics import _latency_summary
-from repro.registers.base import OperationKind, OperationRecord
+from repro.exec.oplog import LoggedOp, OpLog
 from repro.sim.network import NetworkStats
 from repro.store.shardmap import ShardMap
 from repro.store.store import StoreAtomicityReport, StoreConfig, StoreShard
-from repro.verification.history import History
+from repro.verification.columnar import ColumnarHistory
 from repro.verification.register_checker import AtomicityViolation, check_swmr_atomicity
 
 
@@ -99,19 +99,22 @@ def merge_metrics(
         else:
             throughput = completed / span
 
-    # Pool raw samples per kind.  READ/WRITE are always reported (matching the
-    # serial collector's pre-keyed buckets); other kinds sort by value name so
-    # the merged snapshot never depends on worker order.
-    pooled: Dict[str, List[float]] = {"read": [], "write": []}
+    # Pool raw samples per kind into flat float arrays (workers ship
+    # ``array('d')`` columns; plain lists from hand-built parts pool the
+    # same).  READ/WRITE are always reported (matching the serial
+    # collector's pre-keyed buckets); other kinds sort by value name so the
+    # merged snapshot never depends on worker order.
+    pooled: Dict[str, array] = {"read": array("d"), "write": array("d")}
     for part in parts:
         for kind_value, samples in part["latencies"].items():
-            pooled.setdefault(kind_value, []).extend(samples)
+            pooled.setdefault(kind_value, array("d")).extend(samples)
     extra_kinds = sorted(name for name in pooled if name not in ("read", "write"))
     latency: Dict[str, Any] = {
         "read": _latency_summary(pooled["read"]),
         "write": _latency_summary(pooled["write"]),
     }
-    combined: List[float] = list(pooled["read"]) + list(pooled["write"])
+    combined = array("d", pooled["read"])
+    combined.extend(pooled["write"])
     for name in extra_kinds:
         latency[name] = _latency_summary(pooled[name])
         combined.extend(pooled[name])
@@ -149,7 +152,9 @@ def collector_raw_state(metrics) -> Dict[str, Any]:
         "first_issue_at": metrics.first_issue_at,
         "last_completion_at": metrics.last_completion_at,
         "latencies": {
-            getattr(kind, "value", str(kind)): list(samples)
+            # Ship the flat float columns as-is: an array('d') pickles as one
+            # byte block, not a million float objects.
+            getattr(kind, "value", str(kind)): samples
             for kind, samples in metrics._latencies.items()
         },
     }
@@ -173,12 +178,18 @@ class MergedStore:
     simulator and accepts no new operations (the run already happened, in the
     workers).  ``simulator.now`` is the global makespan (the final barrier
     time) and ``simulator.executed_events`` the sum over workers.
+
+    The run's operations live in one merged :class:`~repro.exec.oplog.OpLog`
+    (rows already permuted into global submission order); ``ops`` is a lazy
+    view over it and histories come straight off the columns, so inspecting
+    a million-op parallel run allocates no per-op objects.  ``oplog=None``
+    (worker-failure runs) degrades to an empty log.
     """
 
     def __init__(
         self,
         config: StoreConfig,
-        ops: List[ExecOp],
+        oplog: Optional[OpLog],
         stats: NetworkStats,
         metrics: Dict[str, Any],
         crashed: Dict[int, List[int]],
@@ -188,7 +199,8 @@ class MergedStore:
     ) -> None:
         self.config = config
         self.shard_map: ShardMap = config.shard_map()
-        self.ops = ops
+        self.oplog = oplog if oplog is not None else OpLog()
+        self.ops = self.oplog.ops_view()
         self.stats = stats
         self._metrics = metrics
         self.fault_plan = fault_plan
@@ -207,7 +219,7 @@ class MergedStore:
     @property
     def deployed_keys(self) -> list[Any]:
         """Keys that saw at least one operation, sorted by repr."""
-        return sorted({op.key for op in self.ops if op.record is not None}, key=repr)
+        return sorted(self.oplog.rows_by_key(), key=repr)
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The merged driver-level metrics (see :func:`merge_metrics`)."""
@@ -217,35 +229,27 @@ class MergedStore:
         """Messages sent across all workers' subnets."""
         return self.stats.messages_sent
 
-    def completed_ops(self) -> list[ExecOp]:
+    def completed_ops(self) -> list[LoggedOp]:
         """Operations that completed successfully, in submission order."""
         return [op for op in self.ops if op.completed]
 
-    def failed_ops(self) -> list[ExecOp]:
+    def failed_ops(self) -> list[LoggedOp]:
         """Operations that failed (crashed replica, stalled batch, ...)."""
         return [op for op in self.ops if op.failed]
 
     # --------------------------------------------------------- verification
     #
-    # Byte-for-byte the KVStore implementations: the merged op list is in
-    # global submission order, so grouping and History.from_records behave
-    # identically to the single-process store.
+    # Byte-for-byte the KVStore implementations: the merged oplog's rows are
+    # in global submission order, so grouping and the per-key history sort
+    # behave identically to the single-process store.
 
-    def history(self, key: Any) -> History:
+    def history(self, key: Any) -> ColumnarHistory:
         """The SWMR history of one key (completed and pending operations)."""
-        records = [op.record for op in self.ops if op.key == key and op.record is not None]
-        return History.from_records(records, initial_value=self.config.initial_value)
+        return self.oplog.history_for(key, initial_value=self.config.initial_value)
 
-    def histories(self) -> Dict[Any, History]:
+    def histories(self) -> Dict[Any, ColumnarHistory]:
         """Every touched key's history, keyed by key."""
-        by_key: Dict[Any, List[OperationRecord]] = {}
-        for op in self.ops:
-            if op.record is not None:
-                by_key.setdefault(op.key, []).append(op.record)
-        return {
-            key: History.from_records(records, initial_value=self.config.initial_value)
-            for key, records in by_key.items()
-        }
+        return self.oplog.per_key_histories(initial_value=self.config.initial_value)
 
     def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
         """Check every key's history with the fast per-key SWMR checker."""

@@ -140,24 +140,33 @@ class EventQueue:
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 
-    def pop(self) -> Optional[Event]:
-        """Remove and return the next live event, or ``None`` if the queue is empty."""
-        heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)[2]
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            self._live -= 1
-            return event
-        return None
+    def _discard_cancelled_head(self) -> None:
+        """Drop cancelled entries from the heap top, keeping the counter exact.
 
-    def peek_time(self) -> Optional[float]:
-        """Return the virtual time of the next live event without removing it."""
+        The single place cancelled entries leave the heap outside
+        :meth:`_compact` — ``pop`` and ``peek_time`` both discard through
+        here, so ``_cancelled_in_heap`` always equals the number of
+        cancelled entries actually in the heap (the drift test pins this).
+        """
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
             self._cancelled_in_heap -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if the queue is empty."""
+        self._discard_cancelled_head()
+        heap = self._heap
+        if not heap:
+            return None
+        event = heapq.heappop(heap)[2]
+        self._live -= 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Return the virtual time of the next live event without removing it."""
+        self._discard_cancelled_head()
+        heap = self._heap
         if not heap:
             return None
         return heap[0][0]

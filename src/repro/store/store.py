@@ -45,15 +45,16 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exec.driver import Driver, ExecOp
 from repro.exec.metrics import MetricsCollector
+from repro.exec.oplog import OpLog
 from repro.exec.target import OpRequest, StoreTarget
-from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
+from repro.registers.base import OperationKind, RegisterProcess
 from repro.registers.registry import get_algorithm
 from repro.sim.delays import DelayModel
 from repro.sim.network import Network, Subnet
 from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
 from repro.store.shardmap import Placement, ShardMap
-from repro.verification.history import History
+from repro.verification.columnar import ColumnarHistory
 from repro.verification.register_checker import (
     AtomicityReport,
     AtomicityViolation,
@@ -255,7 +256,12 @@ class KVStore:
         # contributes routing (StoreTarget) and geometry; repro.exec owns
         # queueing, completion chaining, stuck detection and metrics.
         self.target = StoreTarget(self)
-        self.driver = Driver(self.simulator, metrics=MetricsCollector(self.network))
+        # The driver records every operation into a columnar OpLog as the run
+        # executes; histories and checking read the columns, never the ExecOp
+        # object graph (see repro.exec.oplog).
+        self.driver = Driver(
+            self.simulator, metrics=MetricsCollector(self.network), oplog=OpLog()
+        )
         #: Installed link-level fault plan (see :meth:`install_fault_plan`).
         self.fault_plan = None
 
@@ -516,20 +522,14 @@ class KVStore:
         """Operations that failed (crashed replica, stalled batch, ...)."""
         return [op for op in self.ops if op.failed]
 
-    def history(self, key: Any) -> History:
+    def history(self, key: Any) -> ColumnarHistory:
         """The SWMR history of one key (completed and pending operations)."""
-        records = [op.record for op in self.ops if op.key == key and op.record is not None]
-        return History.from_records(records, initial_value=self.config.initial_value)
+        return self.driver.oplog.history_for(key, initial_value=self.config.initial_value)
 
     def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
         """Check every key's history with the fast per-key SWMR checker."""
-        by_key: Dict[Any, list[OperationRecord]] = {}
-        for op in self.ops:
-            if op.record is not None:
-                by_key.setdefault(op.key, []).append(op.record)
         report = StoreAtomicityReport()
-        for key, records in by_key.items():
-            history = History.from_records(records, initial_value=self.config.initial_value)
+        for key, history in self.histories().items():
             report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
         if raise_on_violation and not report.ok:
             violations = report.violations()
@@ -539,16 +539,16 @@ class KVStore:
             )
         return report
 
-    def histories(self) -> Dict[Any, History]:
-        """Every deployed key's history, keyed by key."""
-        by_key: Dict[Any, list[OperationRecord]] = {}
-        for op in self.ops:
-            if op.record is not None:
-                by_key.setdefault(op.key, []).append(op.record)
-        return {
-            key: History.from_records(records, initial_value=self.config.initial_value)
-            for key, records in by_key.items()
-        }
+    def histories(self) -> Dict[Any, ColumnarHistory]:
+        """Every deployed key's history, keyed by key.
+
+        Histories are :class:`~repro.verification.columnar.ColumnarHistory`
+        row views over the driver's OpLog — same ``to_dict`` output, same
+        checker verdicts, a fraction of the memory (DESIGN.md §11).
+        """
+        return self.driver.oplog.per_key_histories(
+            initial_value=self.config.initial_value
+        )
 
     def check_linearizability(
         self,

@@ -590,10 +590,17 @@ def check_histories_per_key(
             max_states=max_states,
             workers=workers,
         )
+    from repro.verification.columnar import ColumnarHistory
     from repro.verification.register_checker import check_swmr_atomicity
 
     report = PartitionedCheckReport()
     for key, history in histories.items():
+        # Columnar histories stay columnar at rest (and on the wire to pool
+        # workers), but the checkers walk operations hard — materialize one
+        # key's rows into plain Operation objects for the duration of its
+        # check.  Peak extra memory is a single key's history, not the run's.
+        if isinstance(history, ColumnarHistory):
+            history = history.to_history()
         if swmr_fast_path and _swmr_fast_path_applies(history):
             claims = check_swmr_atomicity(history, raise_on_violation=False)
             completed, pending_writes = _relevant_operations(history)

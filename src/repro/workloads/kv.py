@@ -16,11 +16,12 @@ can map every read back to the write it observed.
 from __future__ import annotations
 
 import bisect
+import itertools
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.exec.clients import ARRIVAL_PROCESSES, OpenLoopClient, arrival_times
+from repro.exec.clients import ARRIVAL_PROCESSES, OpenLoopClient, iter_arrival_times
 from repro.exec.target import OpRequest
 from repro.faults.plan import FaultPlan
 from repro.registers.base import OperationKind
@@ -226,8 +227,14 @@ def _zipfian_cum_weights(num_keys: int, s: float) -> list[float]:
     return cumulative
 
 
-def generate_kv_operations(spec: KVWorkloadSpec) -> List[KVOp]:
-    """Turn a spec into the concrete operation stream (seeded, reproducible)."""
+def iter_kv_operations(spec: KVWorkloadSpec) -> Iterator[KVOp]:
+    """Lazily yield the spec's operation stream (seeded, reproducible).
+
+    The stream is drawn one operation at a time from a fresh RNG, in exactly
+    the order :func:`generate_kv_operations` materializes — runners that
+    stream (the open-loop client, the shard-parallel workers) never hold a
+    million scripted operations in memory at once.
+    """
     rng = make_rng(
         spec.seed,
         "kv-workload",
@@ -254,23 +261,19 @@ def generate_kv_operations(spec: KVWorkloadSpec) -> List[KVOp]:
             return ranked[rng.randrange(spec.num_keys)]
 
     write_counters: dict[str, int] = {}
-    operations: List[KVOp] = []
     for index in range(spec.num_ops):
         key = sample_key()
         if rng.random() < spec.read_fraction:
-            operations.append(KVOp(index=index, kind=OperationKind.READ, key=key))
+            yield KVOp(index=index, kind=OperationKind.READ, key=key)
         else:
             count = write_counters.get(key, 0) + 1
             write_counters[key] = count
-            operations.append(
-                KVOp(
-                    index=index,
-                    kind=OperationKind.WRITE,
-                    key=key,
-                    value=f"{key}=v{count}",
-                )
-            )
-    return operations
+            yield KVOp(index=index, kind=OperationKind.WRITE, key=key, value=f"{key}=v{count}")
+
+
+def generate_kv_operations(spec: KVWorkloadSpec) -> List[KVOp]:
+    """Turn a spec into the concrete operation stream (seeded, reproducible)."""
+    return list(iter_kv_operations(spec))
 
 
 # -------------------------------------------------------------------- runner
@@ -299,6 +302,9 @@ class KVWorkloadResult:
     #: fast (``finished_cleanly=False``) and this carries the worker's
     #: traceback.  ``None`` for serial runs and clean parallel runs.
     worker_failure: Optional[str] = None
+    #: Shard-parallel runs only: total worker→parent result-payload bytes
+    #: (pickle blob + out-of-band column buffers).  ``0`` for serial runs.
+    ipc_bytes: int = 0
 
     def completed_ops(self) -> list[StoreOp]:
         """Operations that completed successfully."""
@@ -340,8 +346,8 @@ class KVWorkloadResult:
         return self.store.check_atomicity(raise_on_violation=raise_on_violation)
 
 
-def generate_kv_arrivals(spec: KVWorkloadSpec) -> List[float]:
-    """Seeded open-loop arrival times for ``spec`` (one per operation).
+def iter_kv_arrivals(spec: KVWorkloadSpec) -> Iterator[float]:
+    """Lazily yield the seeded open-loop arrival times for ``spec``.
 
     Derived from the master seed but on an independent RNG stream, so the
     operation mix is identical between closed- and open-loop runs of the
@@ -350,33 +356,49 @@ def generate_kv_arrivals(spec: KVWorkloadSpec) -> List[float]:
     if not spec.open_loop:
         raise ValueError(f"spec has closed-loop arrivals (arrival={spec.arrival!r})")
     rng = make_rng(spec.seed, "kv-arrivals", spec.arrival, spec.arrival_rate, spec.num_ops)
-    return arrival_times(spec.arrival, rng, spec.arrival_rate, spec.num_ops)
+    return iter_arrival_times(spec.arrival, rng, spec.arrival_rate, spec.num_ops)
+
+
+def generate_kv_arrivals(spec: KVWorkloadSpec) -> List[float]:
+    """Seeded open-loop arrival times for ``spec`` (one per operation)."""
+    return list(iter_kv_arrivals(spec))
+
+
+def last_kv_arrival(spec: KVWorkloadSpec) -> float:
+    """The final arrival time of the spec's schedule, in O(1) memory."""
+    last = 0.0
+    for last in iter_kv_arrivals(spec):
+        pass
+    return last
+
+
+def iter_kv_triples(spec: KVWorkloadSpec) -> Iterator[Tuple[float, OpRequest, Any]]:
+    """The open-loop client's ``(time, request, value)`` stream, lazily."""
+    for at, scripted in zip(iter_kv_arrivals(spec), iter_kv_operations(spec)):
+        yield (at, OpRequest(kind=scripted.kind, key=scripted.key), scripted.value)
 
 
 def _run_open_loop(
-    spec: KVWorkloadSpec, store: KVStore, operations: List[KVOp]
+    spec: KVWorkloadSpec, store: KVStore
 ) -> tuple[List[StoreOp], List[float], bool]:
     """Drive the full operation stream open-loop; returns (ops, arrivals, finished)."""
-    times = generate_kv_arrivals(spec)
-    arrivals = [
-        (
-            at,
-            OpRequest(kind=scripted.kind, key=scripted.key),
-            scripted.value,
-        )
-        for at, scripted in zip(times, operations)
-    ]
-    client = OpenLoopClient(store.driver, store.target, arrivals)
+    # One O(1)-memory pre-pass for the drive budget; the schedule itself then
+    # streams into the client one triple ahead of the firing front.
+    last_arrival = last_kv_arrival(spec)
+    client = OpenLoopClient(store.driver, store.target, iter_kv_triples(spec))
     client.start()
     # The budget bounds *completion after the last arrival*, mirroring the
     # closed-loop per-drive budget — a low offered rate must not eat the
     # whole budget with idle waiting and then silently truncate the tail.
-    last_arrival = times[-1] if times else 0.0
     client.drive(limit=last_arrival + spec.max_virtual_time)
     # Clean = every arrival fired and every op reached a terminal state
     # (completed, or failed-with-reason — crash failures are reported, not
     # truncation).  Anything unsubmitted or still pending is truncation.
     clean = client.all_submitted and all(op.done for op in client.ops)
+    # The result carries the *full* schedule (even past a truncation point),
+    # regenerated after the run so the streaming path reports exactly what
+    # the materialized path always did.
+    times = generate_kv_arrivals(spec)
     return client.ops, times, clean
 
 
@@ -409,18 +431,22 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
         store.crash_server_at(
             point.at_time, point.shard, point.replica, allow_writer=point.allow_writer
         )
-    operations = generate_kv_operations(spec)
     submitted: List[StoreOp] = []
     arrivals: List[float] = []
     batches = 0
     finished = True
     started = time.perf_counter()
     if spec.open_loop:
-        submitted, arrivals, finished = _run_open_loop(spec, store, operations)
+        submitted, arrivals, finished = _run_open_loop(spec, store)
         batches = 1
     else:
-        for begin in range(0, len(operations), spec.batch_size):
-            for scripted in operations[begin : begin + spec.batch_size]:
+        # Stream the script batch-by-batch — the full KVOp list never exists.
+        stream = iter_kv_operations(spec)
+        while True:
+            batch = list(itertools.islice(stream, spec.batch_size))
+            if not batch:
+                break
+            for scripted in batch:
                 if scripted.kind is OperationKind.WRITE:
                     submitted.append(store.submit_put(scripted.key, scripted.value))
                 else:

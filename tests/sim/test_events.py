@@ -110,3 +110,65 @@ def test_predicate_helpers():
     assert never() is False
     assert always("anything") is True
     assert never("anything") is False
+
+
+class TestCancelledAccounting:
+    """``_cancelled_in_heap`` must always equal the cancelled entries actually
+    in the heap — pop, peek_time and compaction share one bookkeeping path."""
+
+    @staticmethod
+    def _cancelled_actually_in_heap(queue):
+        return sum(1 for entry in queue._heap if entry[2].cancelled)
+
+    def _assert_consistent(self, queue):
+        assert queue._cancelled_in_heap == self._cancelled_actually_in_heap(queue)
+        assert queue._cancelled_in_heap >= 0
+        assert queue._live == len(queue._heap) - queue._cancelled_in_heap
+
+    def test_peek_time_discards_with_exact_accounting(self):
+        queue = EventQueue()
+        doomed = [queue.push(float(t), lambda: None) for t in range(5)]
+        survivor = queue.push(9.0, lambda: None)
+        for event in doomed:
+            queue.cancel(event)
+        self._assert_consistent(queue)
+        assert queue.peek_time() == 9.0
+        self._assert_consistent(queue)
+        assert queue._cancelled_in_heap == 0  # peek swept the cancelled head
+        assert queue.pop() is survivor
+        self._assert_consistent(queue)
+
+    def test_counter_never_drifts_under_mixed_operations(self):
+        import random
+
+        rng = random.Random(7)
+        queue = EventQueue()
+        live_handles = []
+        for step in range(2000):
+            roll = rng.random()
+            if roll < 0.45:
+                live_handles.append(queue.push(rng.uniform(0, 100), lambda: None))
+            elif roll < 0.75 and live_handles:
+                queue.cancel(live_handles.pop(rng.randrange(len(live_handles))))
+            elif roll < 0.9:
+                popped = queue.pop()
+                if popped is not None:
+                    assert not popped.cancelled
+                    live_handles = [e for e in live_handles if e is not popped]
+            else:
+                queue.peek_time()
+            self._assert_consistent(queue)
+        # Drain everything; the counter must land exactly on zero.
+        while queue.pop() is not None:
+            self._assert_consistent(queue)
+        assert queue._cancelled_in_heap == 0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        self._assert_consistent(queue)
+        assert queue._cancelled_in_heap == 1
+        assert queue.pop() is None
+        assert queue._cancelled_in_heap == 0
