@@ -61,10 +61,20 @@ def format_metrics(snapshot: dict, title: str = "driver metrics") -> str:
         ["kind", "ops", "mean", "p50", "p95", "p99", "max"], rows, title=title
     )
     lines = [table]
+    if "wall_throughput" in snapshot:
+        # Wall-clock (live-transport) snapshot: virtual throughput is null by
+        # construction, so report the ops/second number instead.
+        throughput_note = (
+            f" wall throughput {format_number(snapshot.get('wall_throughput'), 3)} ops/s"
+        )
+    else:
+        throughput_note = (
+            f" virtual throughput {format_number(snapshot.get('virtual_throughput', 0.0), 3)}"
+            " ops/time-unit"
+        )
     lines.append(
         f"completed {snapshot.get('completed', 0)} / issued {snapshot.get('issued', 0)}"
-        f" (failed {snapshot.get('failed', 0)});"
-        f" virtual throughput {format_number(snapshot.get('virtual_throughput', 0.0), 3)} ops/time-unit"
+        f" (failed {snapshot.get('failed', 0)});" + throughput_note
     )
     messages = snapshot.get("messages", {})
     if messages:

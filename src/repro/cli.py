@@ -144,6 +144,30 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_transports(_args: argparse.Namespace) -> int:
+    """List the message-transport backends and their capability flags."""
+    from repro.transport import TRANSPORTS
+
+    rows = [
+        [
+            info.name,
+            info.clock,
+            "yes" if info.deterministic else "no",
+            info.sim_only_features,
+            info.description,
+        ]
+        for info in TRANSPORTS.values()
+    ]
+    print(
+        format_table(
+            ["name", "clock", "deterministic", "sim-only features", "description"],
+            rows,
+            title="Message transports",
+        )
+    )
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Regenerate the paper's Table 1."""
     table = build_table1(n=args.n, writes=args.writes, delta=1.0, seed=args.seed)
@@ -276,12 +300,103 @@ def cmd_messages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_live(args: argparse.Namespace) -> int:
+    """Run the keyed workload over the live asyncio socket backend.
+
+    Same seeded operation stream as the simulated run of the identical
+    spec; timing and metrics are wall-clock, and the histories feed the
+    unmodified per-key linearizability checker.
+    """
+    from repro.workloads.kv import run_kv_workload
+    from repro.workloads.scenarios import kv_uniform, kv_zipfian
+
+    for sim_only, label in (
+        (args.crashes, "--crashes"),
+        (args.no_coalesce, "--no-coalesce"),
+        (args.algorithms, "--algorithms"),
+        (args.workers != 1, "--workers"),
+    ):
+        if sim_only:
+            print(
+                f"{label} is simulated-only; the live transport takes the wire as-is "
+                "(see `repro transports`)",
+                file=sys.stderr,
+            )
+            return 2
+    builder = kv_zipfian if args.dist == "zipfian" else kv_uniform
+    try:
+        spec = builder(
+            num_keys=args.keys,
+            num_ops=args.ops,
+            read_fraction=args.read_fraction,
+            algorithm=args.algorithm,
+            num_shards=args.shards,
+            replication=args.replication,
+            batch_size=args.batch,
+            seed=args.seed,
+        ).with_(transport="live")
+        if args.arrival != "closed":
+            # Open-loop on the wall clock: --rate is operations per second.
+            spec = spec.with_(arrival=args.arrival, arrival_rate=args.rate)
+    except ValueError as exc:
+        print(f"invalid store parameters: {exc}", file=sys.stderr)
+        return 2
+    result = run_kv_workload(spec)
+    report = result.check_linearizability()
+    rows = [
+        ["transport", f"live (asyncio loopback, {args.replication} replica processes)"],
+        ["algorithm", args.algorithm],
+        ["operations submitted", result.submitted],
+        ["operations completed", result.completed],
+        ["operations failed", result.failed],
+        ["protocol messages", result.messages_total],
+        ["wall seconds", round(result.wall_seconds, 3)],
+        ["ops per wall second", round(result.wall_throughput(), 1)],
+        ["per-key linearizable", f"yes ({report.keys_checked} keys)" if report.ok else "NO"],
+    ]
+    if spec.open_loop:
+        rows.insert(2, ["offered load (ops/second)", args.rate])
+    if not result.finished_cleanly:
+        rows.insert(2, ["finished cleanly", "NO (failed or timed-out operations)"])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"store [live]: {args.algorithm}, {args.ops} ops, {args.dist} keys"
+                + (f", {args.arrival} arrivals @ {args.rate}/s" if spec.open_loop else "")
+            ),
+        )
+    )
+    print()
+    print(format_metrics(result.metrics, title="operation latency (wall-clock seconds)"))
+    if not report.ok:
+        print("\nper-key linearizability violations:", file=sys.stderr)
+        for violation in report.violations():
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    if not result.finished_cleanly:
+        print(
+            "\nlive run did not finish cleanly: some operations failed or missed "
+            "the completion deadline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     """Run a keyed workload against the sharded multi-key store."""
     from repro.sim.rng import make_rng
     from repro.workloads.kv import CrashPoint, run_kv_workload
     from repro.workloads.scenarios import kv_uniform, kv_zipfian
 
+    if args.replicas is not None:
+        # `--replicas` is the live-transport wording for `--replication`;
+        # both set the per-shard replica count on either backend.
+        args.replication = args.replicas
+    if args.transport == "live":
+        return _cmd_store_live(args)
     builder = kv_zipfian if args.dist == "zipfian" else kv_uniform
     shard_algorithms = None
     if args.algorithms:
@@ -428,17 +543,95 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_live(args: argparse.Namespace) -> int:
+    """Live-transport benchmark: wall-clock throughput on a loopback cluster.
+
+    Emits ``BENCH_live_throughput.json`` — a separate artifact from the
+    simulated baselines, because its numbers are wall-clock and therefore
+    machine-dependent by design.  Both runs (closed-loop and open-loop
+    Poisson) must finish cleanly and pass the per-key checker.
+    """
+    import json
+    import pathlib
+    import platform
+
+    from repro.workloads.kv import run_kv_workload
+    from repro.workloads.scenarios import kv_uniform
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mode = "quick" if args.quick else "full"
+    num_ops = 200 if args.quick else 1000
+    num_keys = 16 if args.quick else 32
+    rate = 200.0 if args.quick else 400.0
+
+    spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=19).with_(transport="live")
+    closed = run_kv_workload(spec.with_(batch_size=64))
+    open_result = run_kv_workload(spec.with_(arrival="poisson", arrival_rate=rate))
+    for label, result in (("closed-loop", closed), ("open-loop", open_result)):
+        report = result.check_linearizability()
+        if not report.ok or not result.finished_cleanly:
+            print(
+                f"live {label} benchmark failed "
+                f"(linearizable={report.ok}, clean={result.finished_cleanly})",
+                file=sys.stderr,
+            )
+            return 1
+
+    def _entry(result) -> dict:
+        latency = result.metrics["latency"]["all"] or {}
+        return {
+            "completed": result.completed,
+            "failed": result.failed,
+            "wall_seconds": round(result.wall_seconds, 4),
+            "wall_throughput": _json_number(result.wall_throughput()),
+            "messages": result.messages_total,
+            "p50_s": _json_number(latency.get("p50"), 6),
+            "p99_s": _json_number(latency.get("p99"), 6),
+        }
+
+    payload = {
+        "benchmark": "live_loopback_throughput",
+        "mode": mode,
+        "transport": "live",
+        "replicas": spec.replication,
+        "num_keys": num_keys,
+        "num_ops": num_ops,
+        "offered_load_ops_per_s": rate,
+        "closed_loop": _entry(closed),
+        "open_loop": _entry(open_result),
+        "python": platform.python_version(),
+    }
+    path = out_dir / "BENCH_live_throughput.json"
+    path.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    print(
+        format_table(
+            ["driving", "ops", "wall seconds", "ops / wall second"],
+            [
+                ["closed-loop (64)", closed.completed, round(closed.wall_seconds, 2), round(closed.wall_throughput(), 1)],
+                [f"open-loop ({rate}/s)", open_result.completed, round(open_result.wall_seconds, 2), round(open_result.wall_throughput(), 1)],
+            ],
+            title=f"live loopback throughput ({mode}) -> {path}",
+        )
+    )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf suite and emit ``BENCH_*.json`` baselines.
 
     Two payloads: ``BENCH_store_throughput.json`` (batched vs per-operation
     driving on the same keyed workload) and ``BENCH_openloop.json``
     (throughput and latency percentiles vs offered load).  ``--quick`` keeps
-    CI smoke runs short.
+    CI smoke runs short.  With ``--transport live`` the suite instead
+    benchmarks the loopback socket cluster (``BENCH_live_throughput.json``).
     """
     import json
     import pathlib
     import platform
+
+    if args.transport == "live":
+        return _cmd_bench_live(args)
 
     from repro.workloads.kv import run_kv_workload
     from repro.workloads.scenarios import kv_openloop, kv_uniform
@@ -881,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.set_defaults(handler=cmd_scenarios)
 
+    sub = subparsers.add_parser(
+        "transports", help="list message-transport backends (simulator, live sockets)"
+    )
+    sub.set_defaults(handler=cmd_transports)
+
     sub = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     sub.add_argument("--n", type=int, default=5)
     sub.add_argument("--writes", type=int, default=30)
@@ -980,6 +1178,21 @@ def build_parser() -> argparse.ArgumentParser:
             "in-process; N > 1 partitions shards into N groups, bit-identical "
             "output)"
         ),
+    )
+    sub.add_argument(
+        "--transport",
+        choices=["sim", "live"],
+        default="sim",
+        help=(
+            "message transport: deterministic virtual-time simulator (default) "
+            "or live asyncio sockets on a loopback replica cluster"
+        ),
+    )
+    sub.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="alias for --replication (replica count per shard / live cluster size)",
     )
     sub.set_defaults(handler=cmd_store)
 
@@ -1098,6 +1311,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the benchmark runs (default 1; payloads are "
             "bit-identical either way, only wall_seconds moves)"
+        ),
+    )
+    sub.add_argument(
+        "--transport",
+        choices=["sim", "live"],
+        default="sim",
+        help=(
+            "benchmark the simulator baselines (default) or the live loopback "
+            "socket cluster (BENCH_live_throughput.json)"
         ),
     )
     sub.set_defaults(handler=cmd_bench)

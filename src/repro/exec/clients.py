@@ -27,7 +27,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.exec.driver import Driver, ExecOp
 from repro.exec.target import OpRequest, Target
 from repro.registers.base import OperationKind, RegisterProcess
-from repro.sim.network import Network
+from repro.transport.base import Transport
 
 #: Supported open-loop arrival processes.
 ARRIVAL_PROCESSES = ("poisson", "uniform")
@@ -124,7 +124,7 @@ class IsolatedClient:
     that storms messages fails fast (``clean=False``) instead of hanging.
     """
 
-    def __init__(self, driver: Driver, network: Network, max_virtual_time: float) -> None:
+    def __init__(self, driver: Driver, network: Transport, max_virtual_time: float) -> None:
         self.driver = driver
         self.network = network
         self.max_virtual_time = max_virtual_time

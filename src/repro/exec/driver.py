@@ -31,8 +31,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 from repro.exec.metrics import MetricsCollector
 from repro.exec.oplog import OpLog
 from repro.registers.base import OperationKind, OperationRecord, RegisterProcess
-from repro.sim.process import ProcessCrashedError
-from repro.sim.scheduler import Simulator
+from repro.transport.base import DrivableClock
+from repro.transport.runtime import ProcessCrashedError
 
 
 @dataclass
@@ -108,11 +108,14 @@ class Driver:
 
     def __init__(
         self,
-        simulator: Simulator,
+        simulator: DrivableClock,
         metrics: Optional[MetricsCollector] = None,
         oplog: Optional[OpLog] = None,
     ) -> None:
+        #: The clock driving this run — the virtual-time simulator (the
+        #: historical attribute name) or any other ``DrivableClock``.
         self.simulator = simulator
+        self.clock = simulator
         self.metrics = metrics
         #: Optional columnar operation log, written in place as the run
         #: executes (row index == ``op_id``).  The store attaches one so its

@@ -25,7 +25,7 @@ from array import array
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.registers.base import OperationKind
-from repro.sim.network import Network
+from repro.transport.base import Transport
 
 
 def nearest_rank(values: Sequence[float], fraction: float) -> float:
@@ -66,8 +66,14 @@ class MetricsCollector:
     double counting (the store's subnets all bill to the parent).
     """
 
-    def __init__(self, network: Optional[Network] = None) -> None:
+    def __init__(self, network: Optional[Transport] = None, wall_clock: bool = False) -> None:
         self.network = network
+        #: True when timestamps fed to this collector are wall-clock seconds
+        #: (the live transport).  A wall-clock snapshot nulls out
+        #: ``virtual_throughput`` — a virtual-time number computed from wall
+        #: timestamps would be meaningless — and reports ``wall_throughput``
+        #: (ops/second) instead, mirroring the Infinity-sanitization fix.
+        self.wall_clock = wall_clock
         self.issued = 0
         self.completed = 0
         self.failed = 0
@@ -129,6 +135,21 @@ class MetricsCollector:
             return float("inf") if self.completed else 0.0
         return self.completed / span
 
+    def wall_throughput(self) -> float:
+        """Completed operations per wall-clock second (wall-clock mode only)."""
+        if not self.wall_clock:
+            raise RuntimeError(
+                "wall_throughput is only meaningful on a wall-clock collector; "
+                "use virtual_throughput() on the simulated transport"
+            )
+        # Same window arithmetic; the timestamps are already wall-clock.
+        if self.first_issue_at is None or self.last_completion_at is None:
+            return 0.0
+        span = self.last_completion_at - self.first_issue_at
+        if span <= 0:
+            return float("inf") if self.completed else 0.0
+        return self.completed / span
+
     def messages_sent(self) -> int:
         """Messages attributed to this collector's window."""
         if self.network is None:
@@ -171,7 +192,9 @@ class MetricsCollector:
             "issued": self.issued,
             "completed": self.completed,
             "failed": self.failed,
-            "virtual_throughput": throughput if math.isfinite(throughput) else None,
+            "virtual_throughput": (
+                None if self.wall_clock else (throughput if math.isfinite(throughput) else None)
+            ),
             "latency": latency,
             "messages": {
                 "total": messages,
@@ -179,6 +202,9 @@ class MetricsCollector:
                 "by_type": self.messages_by_type(),
             },
         }
+        if self.wall_clock:
+            wall = self.wall_throughput()
+            snapshot["wall_throughput"] = wall if math.isfinite(wall) else None
         if self.fault_timeline is not None:
             snapshot["faults"] = list(self.fault_timeline)
         return snapshot

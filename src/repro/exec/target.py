@@ -20,8 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.registers.base import OperationKind, RegisterProcess
-from repro.sim.network import Network
-from repro.sim.scheduler import Simulator
+from repro.transport.base import Clock, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.store import KVStore
@@ -46,13 +45,13 @@ class Target(abc.ABC):
 
     @property
     @abc.abstractmethod
-    def simulator(self) -> Simulator:
-        """The shared event loop this target's processes run on."""
+    def simulator(self) -> Clock:
+        """The shared clock this target's processes run on."""
 
     @property
     @abc.abstractmethod
-    def network(self) -> Network:
-        """The network whose stats bill this target's messages."""
+    def network(self) -> Transport:
+        """The transport whose stats bill this target's messages."""
 
     @abc.abstractmethod
     def route(self, request: OpRequest) -> RegisterProcess:
@@ -70,11 +69,11 @@ class RegisterTarget(Target):
         self._network = self.processes[0].network
 
     @property
-    def simulator(self) -> Simulator:
+    def simulator(self) -> Clock:
         return self._simulator
 
     @property
-    def network(self) -> Network:
+    def network(self) -> Transport:
         return self._network
 
     def route(self, request: OpRequest) -> RegisterProcess:
@@ -95,11 +94,11 @@ class StoreTarget(Target):
         self.store = store
 
     @property
-    def simulator(self) -> Simulator:
+    def simulator(self) -> Clock:
         return self.store.simulator
 
     @property
-    def network(self) -> Network:
+    def network(self) -> Transport:
         return self.store.network
 
     def route(self, request: OpRequest) -> RegisterProcess:

@@ -2,7 +2,7 @@
 
 Every register algorithm in this repository (the paper's two-bit algorithm,
 the ABD baselines, the bounded variants) is expressed as a subclass of
-:class:`RegisterProcess` — a :class:`~repro.sim.process.Process` that exposes
+:class:`RegisterProcess` — a :class:`~repro.transport.runtime.ProcessBase` that exposes
 asynchronous ``invoke_write`` / ``invoke_read`` entry points completing via
 callbacks.  A thin :class:`RegisterAlgorithm` factory describes how to deploy
 ``n`` such processes on a network, and :class:`RegisterHandle` gives examples
@@ -22,9 +22,8 @@ from enum import Enum
 from typing import Any, Callable, Optional
 
 from repro.quorum.tracker import QuorumTracker
-from repro.sim.network import Network
-from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
+from repro.transport.base import Clock, Transport
+from repro.transport.runtime import ProcessBase
 
 __all__ = [
     "OperationKind",
@@ -79,7 +78,7 @@ class OperationRecord:
         return self.messages_after - self.messages_before
 
 
-class RegisterProcess(Process):
+class RegisterProcess(ProcessBase):
     """Base class for processes implementing a shared read/write register.
 
     Subclasses implement :meth:`_start_write` and :meth:`_start_read`; the
@@ -91,8 +90,8 @@ class RegisterProcess(Process):
     def __init__(
         self,
         pid: int,
-        simulator: Simulator,
-        network: Network,
+        simulator: Clock,
+        network: Transport,
         writer_pid: int,
         t: Optional[int] = None,
         initial_value: Any = None,
@@ -220,7 +219,7 @@ class RegisterHandle:
     >>> handle.write("hello")          # only valid on the writer's handle
     """
 
-    def __init__(self, process: RegisterProcess, simulator: Simulator) -> None:
+    def __init__(self, process: RegisterProcess, simulator: Clock) -> None:
         self.process = process
         self.simulator = simulator
 
@@ -290,8 +289,8 @@ class RegisterAlgorithm:
 
     def build(
         self,
-        simulator: Simulator,
-        network: Network,
+        simulator: Clock,
+        network: Transport,
         n: int,
         writer_pid: int = 0,
         t: Optional[int] = None,

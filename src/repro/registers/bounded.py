@@ -45,8 +45,7 @@ from repro.quorum.engine import PhaseRegisterProcess
 from repro.registers.abd import ABD_TYPE_BITS
 from repro.registers.base import OperationRecord, RegisterAlgorithm
 from repro.registers.costmodels import value_bits as _value_bits
-from repro.sim.network import Network
-from repro.sim.scheduler import Simulator
+from repro.transport.base import Clock, Transport
 
 #: Default modulus: sequence numbers travel as values in [0, M); 2*M-1 must
 #: exceed the maximum possible writer/reader divergence (see module docstring).
@@ -199,8 +198,8 @@ class ModuloSeqAbdProcess(PhaseRegisterProcess):
     def __init__(
         self,
         pid: int,
-        simulator: Simulator,
-        network: Network,
+        simulator: Clock,
+        network: Transport,
         writer_pid: int,
         t: Optional[int] = None,
         initial_value: Any = None,

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.sim.delays import DelayModel, FixedDelay
 from repro.sim.scheduler import Simulator
+from repro.transport.base import TransportClosedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.process import Process
@@ -478,6 +479,8 @@ class Network:
         #: one choice stream and shrinking one key's schedule would shift
         #: every other key's).
         self.name = ""
+        #: Set by :meth:`close`; a closed network (or subnet) rejects sends.
+        self.closed = False
         self.stats = NetworkStats()
         self.record_messages = record_messages
         self.coalesce = coalesce
@@ -563,6 +566,11 @@ class Network:
         is dropped — the destination takes no further steps, so it can never
         process it anyway).
         """
+        if self.closed:
+            raise TransportClosedError(
+                f"send p{src}->p{dst} on closed network"
+                + (f" {self.name!r}" if self.name else "")
+            )
         if src == dst:
             raise ValueError(
                 f"process p{src} attempted to send a message to itself; "
@@ -646,6 +654,20 @@ class Network:
     def quiescent(self) -> bool:
         """True when no messages are in flight."""
         return self.in_flight_total() == 0
+
+    # -------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Close the network: further sends raise ``TransportClosedError``.
+
+        Deliveries already scheduled on the simulator still fire (a message
+        in flight is irrevocable), but no new traffic can enter.  Closing
+        drops the coalescing index so a long-lived simulation does not keep
+        per-deployment delivery heads alive after teardown — subnets are no
+        longer immortal.  Idempotent.
+        """
+        self.closed = True
+        self._coalesced.clear()
 
 
 class Subnet(Network):

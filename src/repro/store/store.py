@@ -54,6 +54,7 @@ from repro.sim.network import Network, Subnet
 from repro.sim.scheduler import Simulator
 from repro.sim.tracing import Tracer
 from repro.store.shardmap import Placement, ShardMap
+from repro.transport.base import validate_transport
 from repro.verification.columnar import ColumnarHistory
 from repro.verification.register_checker import (
     AtomicityReport,
@@ -128,8 +129,14 @@ class StoreConfig:
     shard_algorithms: Optional[Tuple[str, ...]] = None
     workers: int = 1
     max_events: Optional[int] = None
+    #: Backend name (``"sim"``/``"live"``).  A :class:`KVStore` itself is the
+    #: *simulated* deployment — constructing one from a live config raises;
+    #: the field rides on the config so workload specs and the CLI carry one
+    #: geometry description across both backends.
+    transport: str = "sim"
 
     def __post_init__(self) -> None:
+        validate_transport(self.transport)
         if self.shard_algorithms is not None and len(self.shard_algorithms) != self.num_shards:
             raise ValueError(
                 f"shard_algorithms has {len(self.shard_algorithms)} entries "
@@ -231,6 +238,11 @@ class KVStore:
         elif overrides:
             config = config.with_(**overrides)
         self.config = config
+        if config.transport != "sim":
+            raise ValueError(
+                f"KVStore is the simulated deployment; transport={config.transport!r} "
+                "runs through repro.transport.live.run_live_workload instead"
+            )
         self.shard_map = config.shard_map()  # validates the geometry
         get_algorithm(config.algorithm)  # fail fast on unknown names
         if config.shard_algorithms is not None:
@@ -400,6 +412,26 @@ class KVStore:
     def settle(self) -> None:
         """Drain residual dissemination (forwarded messages, late acks)."""
         self.simulator.drain()
+
+    # -------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        """Tear the store down: close every key's subnet and the root network.
+
+        After closing, any further protocol send raises
+        :class:`~repro.transport.base.TransportClosedError` — a subnet is no
+        longer immortal once its store is done with it.  Recorded state
+        (histories, the op log, metrics) stays readable.  Idempotent.
+        """
+        for deployment in self._registers.values():
+            deployment.subnet.close()
+        self.network.close()
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # --------------------------------------------------------------- faults
 

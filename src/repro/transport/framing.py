@@ -1,0 +1,114 @@
+"""Length-prefixed JSON framing for the live transport.
+
+One frame = a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON.  JSON (rather than pickle) keeps the wire inspectable with
+``tcpdump``/``nc`` and refuses by construction to smuggle arbitrary Python
+objects between cluster processes; the length prefix makes message
+boundaries explicit on a byte stream, which TCP does not provide.
+
+Two consumption styles:
+
+* :class:`FrameDecoder` — an incremental push parser (feed bytes, pull
+  frames) usable without asyncio; this is what the unit tests exercise and
+  what guards against partial reads and oversized frames.
+* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers used by
+  the cluster processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, List, Optional
+
+#: Frame header: one 4-byte big-endian unsigned length.
+HEADER = struct.Struct(">I")
+
+#: Hard cap on a single frame (16 MiB).  A register message is a few hundred
+#: bytes; anything near the cap is a corrupted stream or a hostile peer, and
+#: failing fast beats buffering unbounded garbage.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class FramingError(ValueError):
+    """Raised on an oversized or malformed frame."""
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Encode ``payload`` as one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(f"frame of {len(body)} bytes exceeds cap {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser: ``feed`` bytes in, ``pull`` decoded frames out."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Append ``data``; return every frame completed by it (possibly none)."""
+        self._buffer.extend(data)
+        frames: List[Any] = []
+        while True:
+            frame = self._pull_one()
+            if frame is _INCOMPLETE:
+                return frames
+            frames.append(frame)
+
+    def _pull_one(self) -> Any:
+        if len(self._buffer) < HEADER.size:
+            return _INCOMPLETE
+        (length,) = HEADER.unpack_from(self._buffer)
+        if length > MAX_FRAME_BYTES:
+            raise FramingError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
+        end = HEADER.size + length
+        if len(self._buffer) < end:
+            return _INCOMPLETE
+        body = bytes(self._buffer[HEADER.size : end])
+        del self._buffer[:end]
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FramingError(f"malformed frame body: {exc}") from exc
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes waiting for the rest of their frame."""
+        return len(self._buffer)
+
+
+class _Incomplete:
+    """Sentinel: the buffer does not yet hold a whole frame."""
+
+
+_INCOMPLETE = _Incomplete()
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:  # clean EOF between frames
+            return None
+        raise FramingError("connection closed mid-header") from exc
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FramingError("connection closed mid-frame") from exc
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"malformed frame body: {exc}") from exc
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    """Buffer one frame on ``writer`` (callers drain at their own cadence)."""
+    writer.write(encode_frame(payload))

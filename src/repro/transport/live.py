@@ -1,0 +1,705 @@
+"""Live transport backend: asyncio TCP sockets on a loopback cluster.
+
+The same register algorithms that run on the virtual-time simulator run
+here over real sockets, unmodified:
+
+* each **replica server** is its own OS process (``multiprocessing`` spawn)
+  running an asyncio event loop; per-key
+  :class:`~repro.registers.base.RegisterProcess` instances are created
+  lazily on first touch, exactly like the simulated store's subnets;
+* replica-to-replica protocol traffic and client invocations travel as
+  length-prefixed JSON frames (:mod:`repro.transport.framing`) with message
+  payloads encoded by the registry codec (:mod:`repro.transport.codec`);
+* the **client runner** (:func:`run_live_workload`) replays a seeded
+  :class:`~repro.workloads.kv.KVWorkloadSpec` operation stream — the *same*
+  stream a simulated run of that spec executes, because the op-mix RNG is
+  independent of the arrival model — and records client-observed
+  invocation/response wall timestamps into the columnar
+  :class:`~repro.exec.oplog.OpLog`, so live histories feed the unmodified
+  Wing–Gong linearizability checker.
+
+Failure semantics: live connections either work or the run fails loudly —
+a dropped connection, a codec error or a deadline overrun marks the
+affected operations failed and ``finished_cleanly=False``.  There is no
+fault *injection* here: partitions, delay storms, scheduled crashes,
+coalescing and schedule perturbation are simulated-only features (they
+need a controllable clock to be reproducible).  On the wire, the paper's
+asynchronous-model assumptions hold for free: TCP gives reliable
+non-FIFO-across-connections delivery and the OS scheduler supplies the
+(unbounded, adversarial-enough) delays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.metrics import MetricsCollector
+from repro.exec.oplog import OpLog
+from repro.registers.base import OperationKind, OperationRecord
+from repro.sim.network import NetworkStats
+from repro.sim.tracing import Tracer
+from repro.transport.base import TransportClosedError
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.framing import FramingError, read_frame, write_frame
+
+#: Seconds allowed for cluster boot (spawn + port discovery + peer wiring).
+STARTUP_TIMEOUT = 30.0
+
+#: Floor for the completion deadline of a whole run.
+MIN_RUN_TIMEOUT = 30.0
+
+
+# ------------------------------------------------------------------ wall clock
+
+
+class WallClock:
+    """The live backend's :class:`~repro.transport.base.Clock`: loop time.
+
+    ``now`` is the asyncio event loop's monotonic time, rebased to 0 at
+    construction so run timestamps read like elapsed seconds.  Timers map
+    onto ``call_at``/``call_later``.  The tracer is present (protocol code
+    records invocations through it) but disabled — there is no virtual
+    event log to correlate against.
+    """
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._epoch = self._loop.time()
+        self.tracer = Tracer(enabled=False)
+
+    @property
+    def now(self) -> float:
+        """Seconds since this clock was created (monotonic)."""
+        return self._loop.time() - self._epoch
+
+    def schedule_at(self, at: float, action: Callable[[], None], label: str = "") -> Any:
+        """Run ``action`` at clock time ``at``; returns a cancellable handle."""
+        return self._loop.call_at(self._epoch + at, action)
+
+    def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Any:
+        """Run ``action`` after ``delay`` seconds; returns a cancellable handle."""
+        return self._loop.call_later(delay, action)
+
+    def cancel(self, handle: Any) -> None:
+        """Cancel a pending timer (idempotent)."""
+        handle.cancel()
+
+    @property
+    def pending_events(self) -> int:
+        """Always 0 — the wall clock does not own the event queue."""
+        return 0
+
+    def run_until(self, predicate: Callable[[], bool], limit: Any = None) -> bool:
+        raise RuntimeError(
+            "the wall clock cannot drive execution synchronously; "
+            "live runs are driven by asyncio (see repro.transport.live)"
+        )
+
+
+# ------------------------------------------------------------- replica server
+
+
+class LiveKeyNet:
+    """Per-key :class:`~repro.transport.base.Transport` view on one replica.
+
+    The register process for one key on one server sends through this
+    object; sends become peer frames routed by the server's connection
+    pool.  Membership is the full static replica set, message accounting
+    lands in the server-wide shared :class:`NetworkStats` (mirroring how
+    simulated subnets bill to their parent network).
+    """
+
+    def __init__(self, server: "_ReplicaServer", key: Any) -> None:
+        self.server = server
+        self.key = key
+        self.name = f"live:{key}"
+        self.closed = False
+        self.stats = server.stats
+        self.process: Any = None
+
+    @property
+    def process_ids(self) -> List[int]:
+        return list(range(self.server.n))
+
+    def register(self, process: Any) -> None:
+        self.process = process
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        if self.closed:
+            raise TransportClosedError(f"send p{src}->p{dst} on closed live net {self.name!r}")
+        if src == dst:
+            raise ValueError(f"process p{src} attempted to send a message to itself")
+        self.stats.record_send(src, message)
+        self.server.send_peer(
+            dst,
+            {
+                "kind": "msg",
+                "key": self.key,
+                "src": src,
+                "dst": dst,
+                "msg": encode_message(message),
+            },
+        )
+
+    def broadcast(self, src: int, message_factory: Callable[[int], Any]) -> None:
+        for dst in self.process_ids:
+            if dst != src:
+                self.send(src, dst, message_factory(dst))
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class _KeyRuntime:
+    """One key's register process on one replica, plus its invoke FIFO."""
+
+    __slots__ = ("net", "process", "pending")
+
+    def __init__(self, net: LiveKeyNet, process: Any) -> None:
+        self.net = net
+        self.process = process
+        #: Queued client invokes: (op_id, kind, value, reply writer).
+        self.pending: deque = deque()
+
+
+class _ReplicaServer:
+    """State of one replica server process (runs inside ``replica_main``)."""
+
+    def __init__(
+        self, replica_id: int, n: int, algorithm_name: str, initial_value: Any
+    ) -> None:
+        from repro.registers.registry import get_algorithm
+
+        self.replica_id = replica_id
+        self.n = n
+        self.algorithm = get_algorithm(algorithm_name)
+        self.initial_value = initial_value
+        self.clock = WallClock(asyncio.get_running_loop())
+        self.stats = NetworkStats()
+        self.keys: Dict[Any, _KeyRuntime] = {}
+        self.peer_ports: Dict[int, int] = {}
+        self.peers_known = asyncio.Event()
+        self.shutdown = asyncio.Event()
+        self._peer_queues: Dict[int, asyncio.Queue] = {}
+        self._tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------- registers
+
+    def runtime_for(self, key: Any) -> _KeyRuntime:
+        runtime = self.keys.get(key)
+        if runtime is None:
+            net = LiveKeyNet(self, key)
+            process = self.algorithm.process_factory(
+                pid=self.replica_id,
+                simulator=self.clock,
+                network=net,
+                writer_pid=0,
+                t=(self.n - 1) // 2,
+                initial_value=self.initial_value,
+            )
+            process.finish_setup()
+            runtime = self.keys[key] = _KeyRuntime(net, process)
+        return runtime
+
+    # ---------------------------------------------------------- peer sending
+
+    def send_peer(self, dst: int, payload: Dict[str, Any]) -> None:
+        queue = self._peer_queues.get(dst)
+        if queue is None:
+            queue = self._peer_queues[dst] = asyncio.Queue()
+            self._tasks.append(asyncio.ensure_future(self._peer_writer(dst, queue)))
+        queue.put_nowait(payload)
+
+    async def _peer_writer(self, dst: int, queue: asyncio.Queue) -> None:
+        """Dial ``dst`` once the port map is known, then drain the queue forever."""
+        await self.peers_known.wait()
+        reader, writer = await asyncio.open_connection("127.0.0.1", self.peer_ports[dst])
+        write_frame(writer, {"kind": "hello", "role": "peer", "src": self.replica_id})
+        try:
+            while True:
+                payload = await queue.get()
+                write_frame(writer, payload)
+                if queue.empty():
+                    await writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            writer.close()
+            raise
+
+    # ------------------------------------------------------------ connections
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await read_frame(reader)
+            if hello is None or hello.get("kind") != "hello":
+                return
+            if hello.get("role") == "peer":
+                await self._serve_peer(reader)
+            else:
+                await self._serve_client(reader, writer)
+        except (FramingError, ConnectionError):
+            # A torn connection fails the affected ops on the client side
+            # (deadline); the server just drops the stream.
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_peer(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            runtime = self.runtime_for(frame["key"])
+            runtime.process.deliver(frame["src"], decode_message(frame["msg"]))
+            self._pump(runtime, None)
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            kind = frame.get("kind")
+            if kind == "invoke":
+                runtime = self.runtime_for(frame["key"])
+                runtime.pending.append(
+                    (frame["op_id"], frame["op"], frame.get("value"), writer)
+                )
+                self._pump(runtime, writer)
+            elif kind == "peers":
+                self.peer_ports = {int(pid): port for pid, port in frame["ports"].items()}
+                self.peers_known.set()
+                write_frame(writer, {"kind": "peers_ok", "replica": self.replica_id})
+                await writer.drain()
+            elif kind == "stats":
+                write_frame(
+                    writer,
+                    {
+                        "kind": "stats_reply",
+                        "replica": self.replica_id,
+                        "messages_sent": self.stats.messages_sent,
+                        "keys": len(self.keys),
+                    },
+                )
+                await writer.drain()
+            elif kind == "shutdown":
+                self.close()
+                write_frame(writer, {"kind": "bye", "replica": self.replica_id})
+                await writer.drain()
+                self.shutdown.set()
+                return
+
+    # ---------------------------------------------------------------- invokes
+
+    def _pump(self, runtime: _KeyRuntime, writer: Optional[asyncio.StreamWriter]) -> None:
+        """Issue queued invokes while the (sequential) register process is free."""
+        process = runtime.process
+        while runtime.pending:
+            current = process.current_operation
+            if current is not None and not current.completed:
+                return  # busy; the completion callback pumps again
+            op_id, op, value, reply_writer = runtime.pending.popleft()
+
+            def finish(record: OperationRecord, op_id: int = op_id, w=reply_writer) -> None:
+                write_frame(
+                    w,
+                    {
+                        "kind": "result",
+                        "op_id": op_id,
+                        "ok": True,
+                        "value": record.result,
+                    },
+                )
+
+            try:
+                if op == "write":
+                    process.invoke_write(value, finish)
+                else:
+                    process.invoke_read(finish)
+            except Exception as exc:  # wrong-writer routing, crashed process, ...
+                write_frame(
+                    reply_writer,
+                    {"kind": "result", "op_id": op_id, "ok": False, "error": str(exc)},
+                )
+
+    # --------------------------------------------------------------- teardown
+
+    def close(self) -> None:
+        for runtime in self.keys.values():
+            runtime.net.close()
+        for task in self._tasks:
+            task.cancel()
+
+
+def replica_main(
+    replica_id: int, n: int, algorithm_name: str, initial_value: Any, port_queue: Any
+) -> None:
+    """Entry point of one replica server process (multiprocessing spawn)."""
+    asyncio.run(_replica_async_main(replica_id, n, algorithm_name, initial_value, port_queue))
+
+
+async def _replica_async_main(
+    replica_id: int, n: int, algorithm_name: str, initial_value: Any, port_queue: Any
+) -> None:
+    server = _ReplicaServer(replica_id, n, algorithm_name, initial_value)
+    tcp_server = await asyncio.start_server(server.handle_connection, "127.0.0.1", 0)
+    port = tcp_server.sockets[0].getsockname()[1]
+    port_queue.put((replica_id, port))
+    async with tcp_server:
+        await server.shutdown.wait()
+        # Give in-flight result frames a beat to flush before the loop dies.
+        await asyncio.sleep(0.05)
+
+
+# ------------------------------------------------------------- client runner
+
+
+@dataclass
+class LiveKVResult:
+    """Everything a live keyed-store run produced.
+
+    Mirrors :class:`~repro.workloads.kv.KVWorkloadResult` where it can, but
+    there is no in-process :class:`KVStore` — the run's record *is* the
+    columnar :class:`OpLog` of client-observed timestamps, which is exactly
+    what the history/checking plane consumes.
+    """
+
+    spec: Any
+    oplog: OpLog
+    wall_seconds: float
+    submitted: int
+    completed: int
+    failed: int
+    #: Wall-clock metrics snapshot (p50/p95/p99 in seconds, wall throughput).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Sum of protocol messages sent across all replica servers.
+    messages_total: int = 0
+    finished_cleanly: bool = True
+
+    def histories(self) -> Dict[Any, Any]:
+        """Per-key client-observed histories (columnar, checker-ready)."""
+        return self.oplog.per_key_histories(self.spec.initial_value)
+
+    def check_linearizability(
+        self, swmr_fast_path: bool = True, max_states: Optional[int] = None
+    ):
+        """Run the unmodified per-key Wing–Gong checker on the live histories."""
+        from repro.verification.linearizability import check_histories_per_key
+
+        return check_histories_per_key(
+            self.histories(), swmr_fast_path=swmr_fast_path, max_states=max_states
+        )
+
+    def wall_throughput(self) -> float:
+        """Completed operations per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+
+class _PendingOp:
+    """Client-side bookkeeping for one in-flight live operation."""
+
+    __slots__ = ("row", "record", "future")
+
+    def __init__(self, row: int, record: OperationRecord, future: "asyncio.Future") -> None:
+        self.row = row
+        self.record = record
+        self.future = future
+
+
+class _LiveClient:
+    """One connection per replica plus op-id dispatch of result frames."""
+
+    def __init__(self) -> None:
+        self.writers: Dict[int, asyncio.StreamWriter] = {}
+        self.readers: Dict[int, asyncio.StreamReader] = {}
+        self.pending: Dict[int, _PendingOp] = {}
+        self.stats_replies: Dict[int, Dict[str, Any]] = {}
+        self._reader_tasks: List[asyncio.Task] = []
+
+    async def connect(self, ports: Dict[int, int]) -> None:
+        for replica, port in sorted(ports.items()):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            write_frame(writer, {"kind": "hello", "role": "client"})
+            await writer.drain()
+            self.readers[replica] = reader
+            self.writers[replica] = writer
+
+    async def wire_peers(self, ports: Dict[int, int]) -> None:
+        """Distribute the port map; every replica must ack before ops flow."""
+        payload = {"kind": "peers", "ports": {str(pid): port for pid, port in ports.items()}}
+        for replica, writer in self.writers.items():
+            write_frame(writer, payload)
+            await writer.drain()
+            ack = await read_frame(self.readers[replica])
+            if not ack or ack.get("kind") != "peers_ok":
+                raise RuntimeError(f"replica {replica} failed the peers handshake: {ack}")
+
+    def start_readers(self) -> None:
+        for replica, reader in self.readers.items():
+            self._reader_tasks.append(asyncio.ensure_future(self._read_loop(replica, reader)))
+
+    async def _read_loop(self, replica: int, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                kind = frame.get("kind")
+                if kind == "result":
+                    op = self.pending.pop(frame["op_id"], None)
+                    if op is not None and not op.future.done():
+                        op.future.set_result(frame)
+                elif kind == "stats_reply":
+                    self.stats_replies[replica] = frame
+        except (FramingError, ConnectionError):
+            return
+
+    async def close(self, send_shutdown: bool = True) -> None:
+        for writer in self.writers.values():
+            if send_shutdown:
+                try:
+                    write_frame(writer, {"kind": "shutdown"})
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+        await asyncio.sleep(0.1)  # let servers ack/flush before the sockets die
+        for task in self._reader_tasks:
+            task.cancel()
+        for writer in self.writers.values():
+            writer.close()
+
+
+def _live_arrival_offsets(spec: Any) -> List[float]:
+    """Seeded arrival offsets in *seconds* (rate = ops/second on the wall)."""
+    from repro.workloads.kv import generate_kv_arrivals
+
+    return generate_kv_arrivals(spec)
+
+
+def run_live_workload(spec: Any) -> LiveKVResult:
+    """Run ``spec`` against a freshly launched loopback replica cluster.
+
+    The operation stream is the spec's seeded stream — identical, op for
+    op, to what a simulated run of the same spec executes.  Open-loop specs
+    fire at their seeded arrival times with ``arrival_rate`` read as
+    operations per wall-clock *second*; closed-loop specs submit in batches
+    of ``batch_size`` and await each batch.
+    """
+    _validate_live_spec(spec)
+    return asyncio.run(_run_live_async(spec))
+
+
+def _validate_live_spec(spec: Any) -> None:
+    if spec.workers > 1:
+        raise ValueError("live transport runs single-client; workers must be 1")
+    if spec.crash_points:
+        raise ValueError(
+            "crash injection is simulated-only; live runs cannot schedule crash_points"
+        )
+    if spec.fault_plan is not None:
+        raise ValueError(
+            "fault plans (link policies) are simulated-only; live runs take the wire as-is"
+        )
+    if spec.replication < 2:
+        raise ValueError("a live register cluster needs at least 2 replicas")
+
+
+async def _run_live_async(spec: Any) -> LiveKVResult:
+    import multiprocessing
+
+    from repro.workloads.kv import iter_kv_operations
+
+    n = spec.replication
+    ctx = multiprocessing.get_context("spawn")
+    port_queue = ctx.Queue()
+    servers = [
+        ctx.Process(
+            target=replica_main,
+            args=(replica, n, spec.algorithm, spec.initial_value, port_queue),
+            daemon=True,
+        )
+        for replica in range(n)
+    ]
+    started = time.perf_counter()
+    for server in servers:
+        server.start()
+    loop = asyncio.get_running_loop()
+    client = _LiveClient()
+    oplog = OpLog()
+    metrics = MetricsCollector(wall_clock=True)
+    clean = True
+    try:
+        ports: Dict[int, int] = {}
+        boot_deadline = time.monotonic() + STARTUP_TIMEOUT
+        while len(ports) < n:
+            budget = boot_deadline - time.monotonic()
+            if budget <= 0:
+                raise RuntimeError(f"cluster boot timed out; got ports for {sorted(ports)}")
+            try:
+                # Short poll chunks so a replica that died on startup fails
+                # the boot in well under a second, not after the full budget.
+                replica, port = await loop.run_in_executor(
+                    None, port_queue.get, True, min(0.25, budget)
+                )
+            except Exception:  # queue.Empty on poll timeout
+                dead = [
+                    i for i, server in enumerate(servers)
+                    if server.exitcode is not None and i not in ports
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"replica server(s) {dead} died during cluster boot "
+                        f"(exit codes {[servers[i].exitcode for i in dead]}). "
+                        "Live clusters use multiprocessing spawn: the parent's "
+                        "__main__ must be importable (run from a script file, "
+                        "the CLI or pytest — not a stdin/REPL session) and the "
+                        "algorithm name must exist in the registry."
+                    ) from None
+                continue
+            ports[replica] = port
+        await client.connect(ports)
+        await client.wire_peers(ports)
+        client.start_readers()
+
+        clock = WallClock(loop)
+        proc_op_counters = [itertools.count() for _ in range(n)]
+        read_rr: Dict[Any, int] = {}
+        op_ids = itertools.count()
+
+        def fire(kind: OperationKind, key: Any, value: Any) -> _PendingOp:
+            if kind is OperationKind.WRITE:
+                replica = 0  # the writer replica, as the simulated store routes
+            else:
+                turn = read_rr.get(key, 0)
+                read_rr[key] = turn + 1
+                replica = turn % n
+            op_id = next(op_ids)
+            now = clock.now
+            row = oplog.note_created(kind, key, value)
+            oplog.note_submitted(row, now)
+            record = OperationRecord(
+                op_id=next(proc_op_counters[replica]),
+                pid=replica,
+                kind=kind,
+                value=value,
+                invoked_at=now,
+            )
+            oplog.note_issued(row, record)
+            metrics.note_issued(now)
+            pending = _PendingOp(row, record, loop.create_future())
+            client.pending[op_id] = pending
+            write_frame(
+                client.writers[replica],
+                {
+                    "kind": "invoke",
+                    "op_id": op_id,
+                    "op": "write" if kind is OperationKind.WRITE else "read",
+                    "key": key,
+                    "value": value,
+                },
+            )
+            return pending
+
+        def settle(pending: _PendingOp, frame: Optional[Dict[str, Any]]) -> bool:
+            nonlocal clean
+            if frame is not None and frame.get("ok"):
+                now = clock.now
+                record = pending.record
+                record.completed = True
+                record.result = frame.get("value")
+                record.responded_at = now
+                oplog.note_completed(pending.row, record)
+                metrics.note_completed(record.kind, now - record.invoked_at, now)
+                return True
+            reason = (frame or {}).get("error", "no response before deadline")
+            oplog.note_failed(pending.row, reason)
+            metrics.note_failed()
+            clean = False
+            return False
+
+        if spec.open_loop:
+            offsets = _live_arrival_offsets(spec)
+            run_budget = max(MIN_RUN_TIMEOUT, (offsets[-1] if offsets else 0.0) + MIN_RUN_TIMEOUT)
+            in_flight: List[Tuple[_PendingOp, "asyncio.Future"]] = []
+            t0 = clock.now
+            for offset, scripted in zip(offsets, iter_kv_operations(spec)):
+                delay = (t0 + offset) - clock.now
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                pending = fire(scripted.kind, scripted.key, scripted.value)
+                in_flight.append((pending, pending.future))
+            deadline = t0 + run_budget
+            for pending, future in in_flight:
+                budget = max(0.001, deadline - clock.now)
+                try:
+                    frame = await asyncio.wait_for(future, timeout=budget)
+                except asyncio.TimeoutError:
+                    frame = None
+                settle(pending, frame)
+        else:
+            stream = iter_kv_operations(spec)
+            while True:
+                batch = list(itertools.islice(stream, spec.batch_size))
+                if not batch:
+                    break
+                fired = [fire(op.kind, op.key, op.value) for op in batch]
+                done, _pending_futs = await asyncio.wait(
+                    [p.future for p in fired], timeout=MIN_RUN_TIMEOUT
+                )
+                for pending in fired:
+                    frame = pending.future.result() if pending.future in done else None
+                    settle(pending, frame)
+                if not all(p.record.completed for p in fired):
+                    break  # a wedged batch: fail fast, do not pile more on
+
+        # Drain message totals from every replica before shutdown.
+        for replica, writer in client.writers.items():
+            write_frame(writer, {"kind": "stats"})
+            await writer.drain()
+        stats_deadline = time.monotonic() + 5.0
+        while len(client.stats_replies) < n and time.monotonic() < stats_deadline:
+            await asyncio.sleep(0.01)
+        messages_total = sum(
+            reply.get("messages_sent", 0) for reply in client.stats_replies.values()
+        )
+    finally:
+        try:
+            await client.close(send_shutdown=True)
+        finally:
+            deadline = time.monotonic() + 5.0
+            for server in servers:
+                server.join(timeout=max(0.1, deadline - time.monotonic()))
+                if server.is_alive():
+                    server.terminate()
+                    server.join(timeout=1.0)
+
+    wall_seconds = time.perf_counter() - started
+    completed = metrics.completed
+    failed = metrics.failed
+    snapshot = metrics.snapshot()
+    # The client-side collector has no attached network; the message bill
+    # comes from the replica servers' drained NetworkStats counters.
+    snapshot["messages"]["total"] = messages_total
+    snapshot["messages"]["per_completed_op"] = (
+        (messages_total / completed) if completed else None
+    )
+    return LiveKVResult(
+        spec=spec,
+        oplog=oplog,
+        wall_seconds=wall_seconds,
+        submitted=len(oplog),
+        completed=completed,
+        failed=failed,
+        metrics=snapshot,
+        messages_total=messages_total,
+        finished_cleanly=clean and failed == 0,
+    )

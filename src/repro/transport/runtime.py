@@ -1,0 +1,246 @@
+"""Process runtime: message handling, guards, crash semantics.
+
+This is the transport-agnostic half of the execution model.  A
+:class:`ProcessBase` is a sequential protocol process attached to any
+:class:`~repro.transport.base.Transport`; it receives deliveries, sends and
+broadcasts messages, and expresses the paper's blocking ``wait(predicate)``
+statements (lines 3, 7, 9, 11 and 20 of Figure 1) as **guards**: a guard is
+a ``(predicate, action)`` pair registered on a process; after every state
+change (i.e. after every message handler and every locally triggered step)
+all pending guards are re-evaluated and those whose predicate holds fire
+their action exactly once.  This gives the same semantics as the
+pseudocode: the continuation runs as soon as the awaited condition becomes
+true, and never before — on the virtual-time simulator and on live sockets
+alike, because guard evaluation is driven by deliveries, not by the clock.
+
+Crash semantics: :meth:`ProcessBase.crash` flips a flag; from then on the
+process neither processes deliveries nor fires guards nor sends messages.
+This matches the paper's crash model — a faulty process "executes correctly
+its local algorithm until it possibly crashes", then halts.  (Scheduled
+crash *injection* is a simulated-only harness feature; on the live backend
+a crash is simply a process that stopped.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # structural types only; no backend import at runtime
+    from repro.transport.base import Clock, Transport
+
+
+class ProcessCrashedError(RuntimeError):
+    """Raised when protocol code tries to run an operation on a crashed process."""
+
+
+@dataclass
+class Guard:
+    """A pending wait: ``action`` fires once when ``predicate`` becomes true.
+
+    Attributes
+    ----------
+    predicate:
+        Zero-argument callable evaluated after every state change.
+    action:
+        Zero-argument callable executed (once) when the predicate holds.
+    label:
+        Diagnostic tag (shows up in stuck-simulation error messages).
+    guard_id:
+        Unique id for stable ordering and cancellation.
+    """
+
+    predicate: Callable[[], bool]
+    action: Callable[[], None]
+    label: str = ""
+    guard_id: int = 0
+    fired: bool = field(default=False, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class ProcessBase:
+    """A sequential process attached to a :class:`~repro.transport.base.Transport`.
+
+    Subclasses implement :meth:`on_message` (and usually expose operation
+    entry points that the workload runner invokes).  The base class provides:
+
+    * :meth:`send` / :meth:`broadcast` — outbound messaging (no self-sends);
+    * :meth:`deliver` — inbound dispatch, ignored after a crash;
+    * :meth:`add_guard` / :meth:`check_guards` — the wait mechanism;
+    * :meth:`crash` — halt the process.
+
+    The constructor keeps the historical parameter names ``simulator`` and
+    ``network`` (every factory in the repo passes them by keyword); the
+    attributes ``clock`` and ``transport`` alias them for code written
+    against the abstraction.
+    """
+
+    def __init__(self, pid: int, simulator: "Clock", network: "Transport") -> None:
+        if pid < 0:
+            raise ValueError(f"process id must be non-negative, got {pid}")
+        self.pid = pid
+        self.simulator = simulator
+        self.network = network
+        self.crashed = False
+        self.crash_time: Optional[float] = None
+        self._guards: list[Guard] = []
+        self._guard_counter = itertools.count()
+        self.messages_received = 0
+        self.messages_handled = 0
+        network.register(self)
+
+    # ------------------------------------------------------------------ misc
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}(pid={self.pid}, {state})"
+
+    @property
+    def clock(self) -> "Clock":
+        """The clock this process runs on (alias of ``simulator``)."""
+        return self.simulator
+
+    @property
+    def transport(self) -> "Transport":
+        """The transport this process rides (alias of ``network``)."""
+        return self.network
+
+    @property
+    def now(self) -> float:
+        """Current time (convenience passthrough)."""
+        return self.simulator.now
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return len(self.network.process_ids)
+
+    def other_process_ids(self) -> list[int]:
+        """Ids of all processes except this one."""
+        return [pid for pid in self.network.process_ids if pid != self.pid]
+
+    # ------------------------------------------------------------------ send
+
+    def send(self, dst: int, message: Any) -> None:
+        """Send a message to ``dst`` (dropped silently if this process crashed)."""
+        if self.crashed:
+            return
+        self.network.send(self.pid, dst, message)
+
+    def broadcast(self, message_factory: Callable[[int], Any]) -> None:
+        """Send ``message_factory(dst)`` to every other process."""
+        if self.crashed:
+            return
+        for dst in self.other_process_ids():
+            self.network.send(self.pid, dst, message_factory(dst))
+
+    # --------------------------------------------------------------- deliver
+
+    def deliver(self, src: int, message: Any) -> None:
+        """Entry point used by the transport when a message arrives."""
+        if self.crashed:
+            return
+        self.messages_received += 1
+        self.on_message(src, message)
+        self.messages_handled += 1
+        if self._guards:  # fast path: skip the call when nothing is awaited
+            self.check_guards()
+
+    def on_message(self, src: int, message: Any) -> None:
+        """Handle one delivered message.  Subclasses must override."""
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- guards
+
+    def add_guard(
+        self,
+        predicate: Callable[[], bool],
+        action: Callable[[], None],
+        label: str = "",
+    ) -> Guard:
+        """Register a wait; ``action`` fires once, as soon as ``predicate`` holds.
+
+        If the predicate already holds, the action fires immediately (before
+        returning), mirroring a ``wait`` statement whose condition is already
+        satisfied.
+        """
+        guard = Guard(
+            predicate=predicate,
+            action=action,
+            label=label,
+            guard_id=next(self._guard_counter),
+        )
+        if self.crashed:
+            guard.cancelled = True
+            return guard
+        if predicate():
+            guard.fired = True
+            action()
+            self.check_guards()
+            return guard
+        self._guards.append(guard)
+        return guard
+
+    def cancel_guard(self, guard: Guard) -> None:
+        """Cancel a pending guard (idempotent)."""
+        guard.cancelled = True
+
+    def check_guards(self) -> None:
+        """Re-evaluate pending guards; fire (once) those whose predicate holds.
+
+        Firing a guard can change state and thereby enable other guards, so
+        the scan repeats until it completes a pass with no firing.
+        """
+        if not self._guards or self.crashed:
+            # Fast path: most deliveries find no pending guards (quorums
+            # already satisfied or not yet awaited) — skip the scan loop and
+            # its per-pass list copies entirely.
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            # Iterate over a snapshot: actions may add new guards.
+            for guard in list(self._guards):
+                if guard.fired or guard.cancelled:
+                    continue
+                if guard.predicate():
+                    guard.fired = True
+                    guard.action()
+                    progressed = True
+            self._guards = [g for g in self._guards if not g.fired and not g.cancelled]
+
+    def pending_guards(self) -> list[Guard]:
+        """Currently pending (unfired, uncancelled) guards — for diagnostics."""
+        return [g for g in self._guards if not g.fired and not g.cancelled]
+
+    # ----------------------------------------------------------------- crash
+
+    def crash(self) -> None:
+        """Halt the process: no further sends, deliveries, or guard firings."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_time = self.simulator.now
+        self._guards.clear()
+        tracer = getattr(self.simulator, "tracer", None)
+        if tracer is not None:
+            tracer.record(self.simulator.now, "crash", self.pid, None, None)
+
+    def require_alive(self, operation: str) -> None:
+        """Raise :class:`ProcessCrashedError` if the process has crashed."""
+        if self.crashed:
+            raise ProcessCrashedError(
+                f"cannot invoke {operation} on crashed process p{self.pid}"
+            )
+
+    # ----------------------------------------------------- memory accounting
+
+    def local_memory_words(self) -> int:
+        """Approximate count of local-state words held by this process.
+
+        Subclasses override this to report the quantities Table 1 line 4
+        compares (history length, sequence-number arrays, ...).  The base
+        implementation reports zero.
+        """
+        return 0

@@ -1,0 +1,62 @@
+"""Simulated transport backend: the virtual-time simulator behind the seam.
+
+This module is the simulated backend's front door.  The engine room stays
+in :mod:`repro.sim` — :class:`~repro.sim.scheduler.Simulator` satisfies the
+:class:`~repro.transport.base.Clock` protocol structurally and
+:class:`~repro.sim.network.Network` satisfies
+:class:`~repro.transport.base.Transport`, so the adapter is genuinely thin:
+aliases plus one convenience constructor.  Everything the live backend
+cannot faithfully offer lives here on purpose:
+
+* **coalescing** — same-instant deliveries sharing one heap event;
+* **link policies** — the fault plane (partitions, delay storms);
+* **perturbation hooks** — seeded schedule exploration / shrinking;
+* **scheduled crash injection** — ``crash_at`` with virtual-time triggers.
+
+Protocol code (registers, quorum engine) never touches these; only the
+harness layers (chaos, explore) do, and those run on this backend by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.delays import DelayModel
+from repro.sim.network import Network, NetworkStats, Subnet
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import Tracer
+
+#: The simulator *is* the simulated backend's clock (structural typing).
+SimulatedClock = Simulator
+
+#: The network *is* the simulated backend's transport.
+SimulatedTransport = Network
+
+#: Membership-scoped view sharing a parent's clock and accounting.
+SimulatedSubnet = Subnet
+
+__all__ = [
+    "NetworkStats",
+    "SimulatedClock",
+    "SimulatedSubnet",
+    "SimulatedTransport",
+    "build_simulated_backend",
+]
+
+
+def build_simulated_backend(
+    delay_model: Optional[DelayModel] = None,
+    record_messages: bool = False,
+    coalesce: bool = False,
+    trace: bool = False,
+) -> tuple[Simulator, Network]:
+    """Construct a fresh ``(clock, transport)`` pair on virtual time."""
+    clock = Simulator(tracer=Tracer(enabled=trace))
+    transport = Network(
+        clock,
+        delay_model=delay_model,
+        record_messages=record_messages,
+        coalesce=coalesce,
+    )
+    return clock, transport

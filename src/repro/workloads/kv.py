@@ -28,6 +28,7 @@ from repro.registers.base import OperationKind
 from repro.sim.delays import DelayModel, FixedDelay
 from repro.sim.rng import make_rng
 from repro.store.store import KVStore, StoreAtomicityReport, StoreConfig, StoreOp
+from repro.transport.base import validate_transport
 
 #: Supported key-access distributions.
 DISTRIBUTIONS = ("uniform", "zipfian")
@@ -134,8 +135,22 @@ class KVWorkloadSpec:
     max_virtual_time: float = 100_000.0
     workers: int = 1
     max_events: Optional[int] = None
+    #: Which backend executes the run: ``"sim"`` (virtual-time simulator,
+    #: default — deterministic, supports faults/perturbation/coalescing) or
+    #: ``"live"`` (asyncio TCP loopback cluster; wall-clock time, with
+    #: ``arrival_rate`` read as operations per *second*).  The seeded
+    #: operation stream is identical on both — only timing differs.
+    transport: str = "sim"
 
     def __post_init__(self) -> None:
+        validate_transport(self.transport)
+        if self.transport == "live":
+            if self.workers != 1:
+                raise ValueError("live transport runs single-client; workers must be 1")
+            if self.crash_points:
+                raise ValueError("crash_points are simulated-only; live runs cannot use them")
+            if self.fault_plan is not None:
+                raise ValueError("fault plans are simulated-only; live runs cannot use them")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.num_keys < 1:
@@ -196,6 +211,7 @@ class KVWorkloadSpec:
         if max_events is None and self.num_ops > 100_000:
             max_events = 60 * self.num_ops
         return StoreConfig(
+            transport=self.transport,
             algorithm=self.algorithm,
             num_shards=self.num_shards,
             replication=self.replication,
@@ -419,7 +435,16 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
     ``spec.workers > 1`` dispatches to the shard-parallel engine
     (:func:`repro.parallel.engine.run_kv_workload_parallel`); ``workers=1``
     is exactly the code below.
+
+    ``spec.transport == "live"`` dispatches to the loopback socket cluster
+    (:func:`repro.transport.live.run_live_workload`) and returns a
+    :class:`~repro.transport.live.LiveKVResult` instead — same seeded
+    operation stream, wall-clock timings.
     """
+    if spec.transport == "live":
+        from repro.transport.live import run_live_workload
+
+        return run_live_workload(spec)
     if spec.workers > 1:
         from repro.parallel.engine import run_kv_workload_parallel
 

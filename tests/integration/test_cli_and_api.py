@@ -166,6 +166,25 @@ class TestAlgorithmAndScenarioListing:
         assert "read_dominated" in out
         assert "register" in out and "store" in out
 
+    def test_transports_command_lists_both_backends(self, capsys):
+        assert main(["transports"]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out and "live" in out
+        assert "deterministic" in out
+        assert "virtual time units" in out and "wall-clock seconds" in out
+        # The sim-only feature set is part of the contract the table documents.
+        assert "coalescing" in out and "perturbation" in out
+
+    def test_transport_registry_round_trips(self):
+        from repro.transport import available_transports, get_transport_info
+
+        names = available_transports()
+        assert names == ["sim", "live"]
+        assert get_transport_info("sim").deterministic
+        assert not get_transport_info("live").deterministic
+        with pytest.raises(KeyError, match="choose from"):
+            get_transport_info("carrier-pigeon")
+
     def test_scenario_registry_round_trips(self):
         from repro.workloads.scenarios import available_scenarios, get_scenario
 

@@ -81,6 +81,33 @@ class TestOpenLoopCli:
         assert "arrival_rate" in capsys.readouterr().err
 
 
+class TestLiveTransportCli:
+    def test_live_store_run_reports_wall_clock_metrics(self, capsys):
+        code = main(
+            ["store", "--transport", "live", "--replicas", "3",
+             "--ops", "40", "--keys", "4", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store [live]" in out
+        assert "asyncio loopback, 3 replica processes" in out
+        assert "ops per wall second" in out
+        assert "wall-clock seconds" in out
+        assert "per-key linearizable" in out and "yes" in out
+
+    def test_replicas_flag_aliases_replication_on_sim_backend(self, capsys):
+        assert main(["store", "--ops", "40", "--keys", "4", "--replicas", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "/ 5" in out  # keys / shards / replication row
+
+    def test_sim_only_flags_rejected_on_live(self, capsys):
+        for flag in (["--crashes", "1"], ["--no-coalesce"], ["--workers", "2"],
+                     ["--algorithms", "abd,two-bit"]):
+            code = main(["store", "--transport", "live", "--ops", "10"] + flag)
+            assert code == 2
+            assert "simulated-only" in capsys.readouterr().err
+
+
 class TestBenchCli:
     def test_quick_bench_emits_baselines(self, capsys, tmp_path):
         code = main(["bench", "--quick", "--out-dir", str(tmp_path)])

@@ -1,0 +1,68 @@
+"""Unit tests for the live transport's length-prefixed JSON framing."""
+
+import json
+import struct
+
+import pytest
+
+from repro.transport.framing import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+)
+
+
+class TestEncodeFrame:
+    def test_roundtrip_through_decoder(self):
+        payload = {"kind": "msg", "src": 1, "dst": 2, "fields": {"value": "v1", "ts": [3, 1]}}
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(payload))
+        assert frames == [payload]
+        assert decoder.buffered_bytes == 0
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert json.loads(frame[HEADER.size :].decode("utf-8")) == {"a": 1}
+
+    def test_non_finite_payloads_are_rejected(self):
+        # The wire is strict JSON; bare Infinity would not be.
+        with pytest.raises(ValueError):
+            encode_frame({"x": float("inf")})
+
+
+class TestFrameDecoder:
+    def test_partial_feeds_accumulate_until_complete(self):
+        frame = encode_frame({"kind": "invoke", "op_id": 7})
+        decoder = FrameDecoder()
+        # Byte-at-a-time delivery: nothing until the very last byte.
+        for byte in frame[:-1]:
+            assert decoder.feed(bytes([byte])) == []
+        assert decoder.feed(frame[-1:]) == [{"kind": "invoke", "op_id": 7}]
+
+    def test_multiple_frames_in_one_feed(self):
+        data = encode_frame({"n": 1}) + encode_frame({"n": 2}) + encode_frame({"n": 3})
+        assert FrameDecoder().feed(data) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    def test_frame_boundary_split_mid_header(self):
+        first = encode_frame({"n": 1})
+        second = encode_frame({"n": 2})
+        decoder = FrameDecoder()
+        # First frame plus 2 bytes of the second frame's header.
+        assert decoder.feed(first + second[:2]) == [{"n": 1}]
+        assert decoder.buffered_bytes == 2
+        assert decoder.feed(second[2:]) == [{"n": 2}]
+
+    def test_oversized_frame_rejected_from_header_alone(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FramingError, match="exceeds cap"):
+            FrameDecoder().feed(header)
+
+    def test_malformed_json_body_raises(self):
+        body = b"not json {"
+        data = struct.pack(">I", len(body)) + body
+        with pytest.raises(FramingError, match="malformed"):
+            FrameDecoder().feed(data)

@@ -1,0 +1,88 @@
+"""Teardown semantics: closed transports reject sends; stores close their subnets."""
+
+import pytest
+
+from repro.sim.network import Network, Subnet
+from repro.sim.scheduler import Simulator
+from repro.store.store import KVStore, StoreConfig
+from repro.transport.base import TransportClosedError
+from repro.transport.runtime import ProcessBase
+
+
+class Echo(ProcessBase):
+    """Minimal concrete process: receives and ignores."""
+
+    def on_message(self, src, message):
+        pass
+
+
+def make_network(n=3):
+    simulator = Simulator()
+    network = Network(simulator)
+    for pid in range(n):
+        Echo(pid, simulator, network)
+    return simulator, network
+
+
+class TestNetworkClose:
+    def test_closed_network_rejects_sends(self):
+        _, network = make_network()
+        network.close()
+        with pytest.raises(TransportClosedError, match="closed network"):
+            network.send(0, 1, object())
+
+    def test_close_is_idempotent(self):
+        _, network = make_network()
+        network.close()
+        network.close()
+        assert network.closed
+
+    def test_open_network_still_sends(self):
+        from repro.core.messages import ProceedMessage
+
+        simulator, network = make_network()
+        sent_before = network.stats.messages_sent
+        network.send(0, 1, ProceedMessage())
+        assert network.stats.messages_sent == sent_before + 1
+
+    def test_closed_subnet_rejects_sends_without_closing_parent(self):
+        from repro.core.messages import ProceedMessage
+
+        simulator, network = make_network(n=5)
+        subnet = Subnet(network, name="shard0:'k'")
+        Echo(0, simulator, subnet)
+        Echo(1, simulator, subnet)
+        subnet.close()
+        with pytest.raises(TransportClosedError):
+            subnet.send(0, 1, ProceedMessage())
+        # The parent network is independent and stays usable.
+        assert not network.closed
+        network.send(0, 1, ProceedMessage())
+
+
+class TestKVStoreTeardown:
+    def test_close_closes_every_subnet_and_the_root_network(self):
+        store = KVStore(StoreConfig(num_shards=2, replication=3))
+        deployments = [store.register_for("a"), store.register_for("b")]
+        store.close()
+        assert store.network.closed
+        for deployment in deployments:
+            assert deployment.subnet.closed
+            with pytest.raises(TransportClosedError):
+                deployment.subnet.send(0, 1, object())
+
+    def test_close_is_idempotent_and_state_stays_readable(self):
+        store = KVStore(StoreConfig(num_shards=1, replication=3))
+        store.put("k", "v1")
+        assert store.get("k") == "v1"
+        store.close()
+        store.close()
+        # Recorded state survives teardown; only new sends are refused.
+        assert store.history("k") is not None
+        store.check_atomicity()
+
+    def test_context_manager_closes_on_exit(self):
+        with KVStore(StoreConfig(num_shards=1, replication=3)) as store:
+            store.register_for("k")
+            assert not store.network.closed
+        assert store.network.closed

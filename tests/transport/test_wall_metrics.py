@@ -1,0 +1,67 @@
+"""Wall-clock mode of the MetricsCollector (satellite: live metrics plane)."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import format_metrics
+from repro.exec.metrics import MetricsCollector
+from repro.registers.base import OperationKind
+
+
+def feed(collector):
+    collector.note_issued(0.0)
+    collector.note_completed(OperationKind.READ, 0.010, 0.010)
+    collector.note_issued(0.020)
+    collector.note_completed(OperationKind.WRITE, 0.015, 0.035)
+
+
+class TestWallClockMode:
+    def test_snapshot_nulls_virtual_and_reports_wall_throughput(self):
+        collector = MetricsCollector(wall_clock=True)
+        feed(collector)
+        snapshot = collector.snapshot()
+        assert snapshot["virtual_throughput"] is None
+        assert snapshot["wall_throughput"] == pytest.approx(2 / 0.035)
+        # Strict-JSON clean, like every other snapshot.
+        json.dumps(snapshot, allow_nan=False)
+
+    def test_wall_throughput_method_matches_window_arithmetic(self):
+        collector = MetricsCollector(wall_clock=True)
+        feed(collector)
+        assert collector.wall_throughput() == pytest.approx(2 / 0.035)
+
+    def test_zero_span_wall_throughput_sanitized_to_null(self):
+        collector = MetricsCollector(wall_clock=True)
+        collector.note_issued(1.0)
+        collector.note_completed(OperationKind.READ, 0.0, 1.0)
+        assert collector.wall_throughput() == float("inf")
+        assert collector.snapshot()["wall_throughput"] is None
+
+    def test_format_metrics_reports_ops_per_second(self):
+        collector = MetricsCollector(wall_clock=True)
+        feed(collector)
+        text = format_metrics(collector.snapshot())
+        assert "wall throughput" in text and "ops/s" in text
+        assert "virtual throughput" not in text
+
+
+class TestVirtualModeUnchanged:
+    def test_sim_snapshot_has_no_wall_key(self):
+        collector = MetricsCollector()
+        feed(collector)
+        snapshot = collector.snapshot()
+        assert "wall_throughput" not in snapshot
+        assert snapshot["virtual_throughput"] == pytest.approx(2 / 0.035)
+
+    def test_wall_throughput_refused_on_virtual_collector(self):
+        collector = MetricsCollector()
+        feed(collector)
+        with pytest.raises(RuntimeError, match="wall-clock collector"):
+            collector.wall_throughput()
+
+    def test_format_metrics_still_reports_virtual_units(self):
+        collector = MetricsCollector()
+        feed(collector)
+        text = format_metrics(collector.snapshot())
+        assert "virtual throughput" in text and "ops/time-unit" in text
