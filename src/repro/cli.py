@@ -335,6 +335,11 @@ def _cmd_store_live(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             seed=args.seed,
         ).with_(transport="live")
+        if args.codec is not None:
+            # `--codec json` reproduces the PR 8 wire end to end: JSON frames
+            # *and* one write() per frame, so A/B runs against the binary
+            # fast path measure the whole wire, not just the encoding.
+            spec = spec.with_(codec=args.codec, write_batching=args.codec == "binary")
         if args.arrival != "closed":
             # Open-loop on the wall clock: --rate is operations per second.
             spec = spec.with_(arrival=args.arrival, arrival_rate=args.rate)
@@ -343,8 +348,11 @@ def _cmd_store_live(args: argparse.Namespace) -> int:
         return 2
     result = run_kv_workload(spec)
     report = result.check_linearizability()
+    transport = result.metrics.get("transport") or {}
     rows = [
         ["transport", f"live (asyncio loopback, {args.replication} replica processes)"],
+        ["wire codec", f"{transport.get('codec', spec.codec)}"
+         + (" + write batching" if transport.get("batching") else ", per-frame writes")],
         ["algorithm", args.algorithm],
         ["operations submitted", result.submitted],
         ["operations completed", result.completed],
@@ -370,6 +378,42 @@ def _cmd_store_live(args: argparse.Namespace) -> int:
     )
     print()
     print(format_metrics(result.metrics, title="operation latency (wall-clock seconds)"))
+    conn_rows = []
+    for row in transport.get("client_connections", []):
+        conn_rows.append(["client", row])
+    for replica, rows_ in sorted(transport.get("replica_connections", {}).items()):
+        for row in rows_:
+            conn_rows.append([f"replica {replica}", row])
+    if conn_rows:
+        table = [
+            [
+                side,
+                row.get("label", "?"),
+                row["bytes_in"],
+                row["bytes_out"],
+                row["frames_in"],
+                row["frames_out"],
+                row["batches_out"],
+                round(row["frames_out"] / row["batches_out"], 2) if row["batches_out"] else "-",
+            ]
+            for side, row in conn_rows
+        ]
+        summary = [
+            "totals",
+            f"frames/flush {round(transport['frames_per_flush'], 2) if transport.get('frames_per_flush') else '-'}",
+            "", "", "", "",
+            "",
+            f"client bytes/op {round(transport['client_bytes_per_op'], 1) if transport.get('client_bytes_per_op') else '-'}",
+        ]
+        print()
+        print(
+            format_table(
+                ["side", "connection", "bytes in", "bytes out", "frames in",
+                 "frames out", "flushes", "frames/flush"],
+                table + [summary],
+                title="per-connection transport stats (also in the JSON metrics snapshot)",
+            )
+        )
     if not report.ok:
         print("\nper-key linearizability violations:", file=sys.stderr)
         for violation in report.violations():
@@ -385,6 +429,76 @@ def _cmd_store_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a live cluster from N client worker processes at an SLO target.
+
+    Exit status: 0 — run sustained the load, every key linearizable, SLO
+    met (when ``--slo-p99`` was given); 1 — ops failed, a worker died, the
+    checker found a violation, or the SLO was missed; 2 — invalid
+    parameters.
+    """
+    from repro.transport.loadgen import LoadgenSpec, run_loadgen
+
+    try:
+        spec = LoadgenSpec(
+            clients=args.clients,
+            rate=args.rate,
+            num_ops=args.ops,
+            num_keys=args.keys,
+            read_fraction=args.read_fraction,
+            algorithm=args.algorithm,
+            replicas=args.replicas,
+            codec=args.codec,
+            write_batching=args.codec == "binary",
+            seed=args.seed,
+            slo_p99=args.slo_p99,
+            timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"invalid loadgen parameters: {exc}", file=sys.stderr)
+        return 2
+    result = run_loadgen(spec)
+    report = result.check_linearizability()
+    slo = result.slo_report()
+
+    def _ms(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value * 1000.0:.1f} ms"
+
+    rows = [
+        ["client workers x replicas", f"{spec.clients} x {spec.replicas} ({spec.algorithm})"],
+        ["wire codec", spec.codec],
+        ["offered load (ops/second)", spec.rate],
+        ["achieved (ops/second)", round(slo["achieved_rate"], 1) if slo["achieved_rate"] else "-"],
+        ["operations completed", f"{result.completed} / {spec.num_ops}"],
+        ["operations failed", result.failed],
+        ["worker errors", len(result.worker_errors)],
+        ["wall seconds", round(result.wall_seconds, 2)],
+        ["wall p50 / p95 / p99", f"{_ms(slo['p50'])} / {_ms(slo['p95'])} / {_ms(slo['p99'])}"],
+        ["p99 SLO target", _ms(slo["target_p99"]) if slo["target_p99"] is not None else "none (report only)"],
+        ["per-key linearizable", f"yes ({report.keys_checked} keys)" if report.ok else "NO"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"loadgen [live]: {spec.clients} workers @ {spec.rate:g}/s, "
+                f"{spec.num_ops} ops"
+            ),
+        )
+    )
+    for error in result.worker_errors:
+        print(f"worker error: {error}", file=sys.stderr)
+    if not report.ok:
+        print("\nper-key linearizability violations:", file=sys.stderr)
+        for violation in report.violations():
+            print(f"  - {violation}", file=sys.stderr)
+    ok = slo["ok"] and report.ok and result.finished_cleanly
+    if not ok:
+        print("\nloadgen run FAILED its gates", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     """Run a keyed workload against the sharded multi-key store."""
     from repro.sim.rng import make_rng
@@ -397,6 +511,13 @@ def cmd_store(args: argparse.Namespace) -> int:
         args.replication = args.replicas
     if args.transport == "live":
         return _cmd_store_live(args)
+    if args.codec is not None:
+        print(
+            "--codec selects the live wire format; the simulated transport has "
+            "no wire (see `repro transports`)",
+            file=sys.stderr,
+        )
+        return 2
     builder = kv_zipfian if args.dist == "zipfian" else kv_uniform
     shard_algorithms = None
     if args.algorithms:
@@ -544,74 +665,76 @@ def cmd_store(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_live(args: argparse.Namespace) -> int:
-    """Live-transport benchmark: wall-clock throughput on a loopback cluster.
+    """Live-transport fast-path benchmark: JSON baseline vs binary+batching.
 
     Emits ``BENCH_live_throughput.json`` — a separate artifact from the
     simulated baselines, because its numbers are wall-clock and therefore
-    machine-dependent by design.  Both runs (closed-loop and open-loop
-    Poisson) must finish cleanly and pass the per-key checker.
+    machine-dependent by design.  The headline metric is
+    ``speedup_vs_json``: steady-state ops/s of the binary-codec,
+    write-batched wire over the PR 8 JSON-per-frame wire on the same
+    multi-writer op mix.  Every constituent run must pass the per-key
+    linearizability checker or the benchmark refuses to report.
     """
     import json
     import pathlib
     import platform
 
-    from repro.workloads.kv import run_kv_workload
-    from repro.workloads.scenarios import kv_uniform
+    from repro.transport.bench import FULL_MIX, QUICK_MIX, run_pair
 
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     mode = "quick" if args.quick else "full"
-    num_ops = 200 if args.quick else 1000
-    num_keys = 16 if args.quick else 32
-    rate = 200.0 if args.quick else 400.0
 
-    spec = kv_uniform(num_keys=num_keys, num_ops=num_ops, seed=19).with_(transport="live")
-    closed = run_kv_workload(spec.with_(batch_size=64))
-    open_result = run_kv_workload(spec.with_(arrival="poisson", arrival_rate=rate))
-    for label, result in (("closed-loop", closed), ("open-loop", open_result)):
-        report = result.check_linearizability()
-        if not report.ok or not result.finished_cleanly:
-            print(
-                f"live {label} benchmark failed "
-                f"(linearizable={report.ok}, clean={result.finished_cleanly})",
-                file=sys.stderr,
-            )
-            return 1
-
-    def _entry(result) -> dict:
-        latency = result.metrics["latency"]["all"] or {}
+    def _section(mix: dict, runs: int) -> dict:
+        baseline, fast, speedup = run_pair(mix, runs=runs)
         return {
-            "completed": result.completed,
-            "failed": result.failed,
-            "wall_seconds": round(result.wall_seconds, 4),
-            "wall_throughput": _json_number(result.wall_throughput()),
-            "messages": result.messages_total,
-            "p50_s": _json_number(latency.get("p50"), 6),
-            "p99_s": _json_number(latency.get("p99"), 6),
+            "mix": dict(mix),
+            "runs_per_arm": runs,
+            "baseline_json": baseline,
+            "fastpath_binary": fast,
+            "speedup_vs_json": speedup,
         }
 
+    try:
+        # The quick section rides along on full runs so the committed
+        # artifact carries a reference for the regression guard's --quick
+        # path; a --quick invocation measures only the quick mix.
+        sections = {"quick": _section(QUICK_MIX, 2)}
+        if not args.quick:
+            sections["full"] = _section(FULL_MIX, 3)
+    except RuntimeError as exc:
+        print(f"live benchmark failed: {exc}", file=sys.stderr)
+        return 1
+
+    headline = sections.get("full", sections["quick"])
     payload = {
-        "benchmark": "live_loopback_throughput",
+        "benchmark": "live_fastpath_throughput",
         "mode": mode,
         "transport": "live",
-        "replicas": spec.replication,
-        "num_keys": num_keys,
-        "num_ops": num_ops,
-        "offered_load_ops_per_s": rate,
-        "closed_loop": _entry(closed),
-        "open_loop": _entry(open_result),
+        "replicas": 3,
+        "speedup_vs_json": headline["speedup_vs_json"],
+        **sections,
         "python": platform.python_version(),
     }
     path = out_dir / "BENCH_live_throughput.json"
     path.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    rows = []
+    for entry in (headline["baseline_json"], headline["fastpath_binary"]):
+        rows.append(
+            [
+                f"{entry['codec']} codec, {'batched' if entry['write_batching'] else 'per-frame'}",
+                entry["completed"],
+                entry["steady_ops_per_s"],
+                entry["frames_per_flush"],
+                entry["client_bytes_per_op"],
+            ]
+        )
+    rows.append(["speedup (fast / baseline)", "", f"{headline['speedup_vs_json']:.2f}x", "", ""])
     print(
         format_table(
-            ["driving", "ops", "wall seconds", "ops / wall second"],
-            [
-                ["closed-loop (64)", closed.completed, round(closed.wall_seconds, 2), round(closed.wall_throughput(), 1)],
-                [f"open-loop ({rate}/s)", open_result.completed, round(open_result.wall_seconds, 2), round(open_result.wall_throughput(), 1)],
-            ],
-            title=f"live loopback throughput ({mode}) -> {path}",
+            ["wire", "ops", "steady ops/s", "frames/flush", "client bytes/op"],
+            rows,
+            title=f"live fast-path throughput ({mode}) -> {path}",
         )
     )
     return 0
@@ -1194,7 +1317,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="alias for --replication (replica count per shard / live cluster size)",
     )
+    sub.add_argument(
+        "--codec",
+        choices=["binary", "json"],
+        default=None,
+        help=(
+            "live-transport wire codec: binary (struct-packed fast path, "
+            "default) or json (the PR 8 wire; also disables write batching "
+            "for a faithful baseline).  Live transport only."
+        ),
+    )
     sub.set_defaults(handler=cmd_store)
+
+    sub = subparsers.add_parser(
+        "loadgen",
+        help="multi-process SLO load generator against a live loopback cluster",
+    )
+    sub.add_argument(
+        "--clients", type=int, default=4, help="client worker processes (default 4)"
+    )
+    sub.add_argument(
+        "--rate",
+        type=float,
+        default=5000.0,
+        help="aggregate open-loop Poisson arrival rate, ops/second (default 5000)",
+    )
+    sub.add_argument(
+        "--ops", type=int, default=50_000, help="total operations across workers (default 50000)"
+    )
+    sub.add_argument("--keys", type=int, default=64, help="distinct keys (default 64)")
+    sub.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.9,
+        dest="read_fraction",
+        help="fraction of operations that are reads (default 0.9)",
+    )
+    sub.add_argument(
+        "--algorithm",
+        default="abd-mwmr",
+        choices=available_algorithms(),
+        help="register algorithm under load (default abd-mwmr)",
+    )
+    sub.add_argument(
+        "--replicas", type=int, default=3, help="replica processes (default 3)"
+    )
+    sub.add_argument(
+        "--codec",
+        choices=["binary", "json"],
+        default="binary",
+        help="wire codec (default binary; json also disables write batching)",
+    )
+    sub.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    sub.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        dest="slo_p99",
+        help="p99 wall-latency SLO in seconds (default: report only, no gate)",
+    )
+    sub.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="hard wall deadline for the whole run in seconds (default 300)",
+    )
+    sub.set_defaults(handler=cmd_loadgen)
 
     sub = subparsers.add_parser(
         "chaos",

@@ -135,7 +135,8 @@ TRANSPORTS: dict[str, TransportInfo] = {
         name="live",
         description=(
             "asyncio TCP sockets over a loopback multi-process cluster "
-            "(length-prefixed JSON frames; wall-clock metrics)"
+            "(length-prefixed frames; negotiated binary or JSON wire codec, "
+            "write batching; wall-clock metrics)"
         ),
         clock="wall-clock seconds",
         deterministic=False,

@@ -1,18 +1,30 @@
-"""Length-prefixed JSON framing for the live transport.
+"""Length-prefixed framing, write batching and transport accounting.
 
-One frame = a 4-byte big-endian unsigned length followed by that many bytes
-of UTF-8 JSON.  JSON (rather than pickle) keeps the wire inspectable with
-``tcpdump``/``nc`` and refuses by construction to smuggle arbitrary Python
-objects between cluster processes; the length prefix makes message
-boundaries explicit on a byte stream, which TCP does not provide.
+One frame = a 4-byte big-endian unsigned length followed by that many body
+bytes.  The body is UTF-8 JSON during the connection handshake (inspectable
+with ``tcpdump``/``nc``, refuses by construction to smuggle arbitrary Python
+objects between cluster processes); after codec negotiation it is whatever
+the negotiated wire codec produces (see :mod:`repro.transport.codec_binary`).
+The length prefix makes message boundaries explicit on a byte stream, which
+TCP does not provide.
 
-Two consumption styles:
+Three consumption styles:
 
 * :class:`FrameDecoder` — an incremental push parser (feed bytes, pull
-  frames) usable without asyncio; this is what the unit tests exercise and
-  what guards against partial reads and oversized frames.
-* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers used by
-  the cluster processes.
+  frames) usable without asyncio.  It keeps one compacting ``bytearray``
+  with an offset cursor, so feeding a megabyte chunk holding thousands of
+  frames costs one append plus one deferred compaction — not one
+  ``del buf[:end]`` memmove per frame (quadratic on large chunks).
+* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers used
+  for the JSON handshake and by tests.
+* :class:`BatchWriter` — a per-connection writer task draining a shared
+  buffer, so frames enqueued in the same event-loop breath coalesce into
+  one ``write()``/``drain()`` pair (the live plane's mirror of the sim
+  plane's same-instant message coalescing, DESIGN §7).
+
+Every byte that crosses a connection can be billed to a
+:class:`TransportStats` counter; the live backend surfaces those counters
+in metrics snapshots (bytes/frames/batches in and out).
 """
 
 from __future__ import annotations
@@ -20,7 +32,8 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
 
 #: Frame header: one 4-byte big-endian unsigned length.
 HEADER = struct.Struct(">I")
@@ -29,6 +42,21 @@ HEADER = struct.Struct(">I")
 #: bytes; anything near the cap is a corrupted stream or a hostile peer, and
 #: failing fast beats buffering unbounded garbage.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Compact the decoder buffer once this many consumed bytes sit before the
+#: cursor.  One memmove per ~64 KiB consumed, amortised O(1) per byte.
+_COMPACT_THRESHOLD = 64 * 1024
+
+#: Default micro-batch flush deadline for :class:`BatchWriter`, in seconds.
+#: ``0.0`` coalesces everything enqueued in the same event-loop breath (the
+#: writer task only runs between turns) while adding no latency to the
+#: protocol's sequential hop chain; a positive deadline buys larger batches
+#: under open-loop trickle traffic at that much added latency per hop — it
+#: measurably *hurts* closed-loop throughput, where same-key operations
+#: serialize on the hop chain, so 0 is the default and callers opt in.
+FLUSH_DEADLINE = 0.0
+
+_Bytes = Union[bytes, bytearray, memoryview]
 
 
 class FramingError(ValueError):
@@ -43,53 +71,229 @@ def encode_frame(payload: Any) -> bytes:
     return HEADER.pack(len(body)) + body
 
 
+def _parse_json_body(body: _Bytes) -> Any:
+    try:
+        return json.loads(bytes(body).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"malformed frame body: {exc}") from exc
+
+
 class FrameDecoder:
-    """Incremental frame parser: ``feed`` bytes in, ``pull`` decoded frames out."""
+    """Incremental frame parser: ``feed`` bytes in, pull complete frames out.
 
-    def __init__(self) -> None:
+    ``raw=False`` (default) parses each body as JSON — the handshake wire
+    and what the historical unit tests exercise.  ``raw=True`` returns the
+    body ``bytes`` untouched, for connections whose codec was negotiated
+    (the caller decodes).
+
+    Internally the decoder appends into one ``bytearray`` and walks it with
+    an offset cursor over a ``memoryview``; consumed prefixes are compacted
+    away in one move once they pass :data:`_COMPACT_THRESHOLD` (or when the
+    buffer empties), never per frame.
+    """
+
+    __slots__ = ("_buffer", "_offset", "_raw")
+
+    def __init__(self, raw: bool = False) -> None:
         self._buffer = bytearray()
+        self._offset = 0
+        self._raw = raw
 
-    def feed(self, data: bytes) -> List[Any]:
+    def feed(self, data: _Bytes) -> List[Any]:
         """Append ``data``; return every frame completed by it (possibly none)."""
-        self._buffer.extend(data)
+        self._buffer += data
         frames: List[Any] = []
-        while True:
-            frame = self._pull_one()
-            if frame is _INCOMPLETE:
-                return frames
-            frames.append(frame)
-
-    def _pull_one(self) -> Any:
-        if len(self._buffer) < HEADER.size:
-            return _INCOMPLETE
-        (length,) = HEADER.unpack_from(self._buffer)
-        if length > MAX_FRAME_BYTES:
-            raise FramingError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
-        end = HEADER.size + length
-        if len(self._buffer) < end:
-            return _INCOMPLETE
-        body = bytes(self._buffer[HEADER.size : end])
-        del self._buffer[:end]
+        buffer = self._buffer
+        offset = self._offset
+        total = len(buffer)
+        view = memoryview(buffer)
         try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise FramingError(f"malformed frame body: {exc}") from exc
+            while total - offset >= HEADER.size:
+                (length,) = HEADER.unpack_from(buffer, offset)
+                if length > MAX_FRAME_BYTES:
+                    raise FramingError(
+                        f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}"
+                    )
+                end = offset + HEADER.size + length
+                if total < end:
+                    break
+                body = bytes(view[offset + HEADER.size : end])
+                offset = end
+                frames.append(body if self._raw else _parse_json_body(body))
+        finally:
+            # Release the view before any compaction: resizing a bytearray
+            # with an exported buffer raises BufferError.
+            view.release()
+            self._offset = offset
+            if offset and (offset == len(buffer) or offset >= _COMPACT_THRESHOLD):
+                del buffer[:offset]
+                self._offset = 0
+        return frames
 
     @property
     def buffered_bytes(self) -> int:
         """Bytes waiting for the rest of their frame."""
+        return len(self._buffer) - self._offset
+
+
+@dataclass
+class TransportStats:
+    """Per-connection byte/frame/batch counters (both directions).
+
+    A *batch* on the way out is one ``write()``/``drain()`` flush of the
+    :class:`BatchWriter`; on the way in it is one ``reader.read()`` chunk.
+    ``frames_out / batches_out`` is therefore the mean frames coalesced per
+    syscall — the number the write-batching layer exists to raise.
+    """
+
+    bytes_in: int = 0
+    frames_in: int = 0
+    batches_in: int = 0
+    bytes_out: int = 0
+    frames_out: int = 0
+    batches_out: int = 0
+
+    def note_chunk_in(self, nbytes: int) -> None:
+        self.bytes_in += nbytes
+        self.batches_in += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "bytes_in": self.bytes_in,
+            "frames_in": self.frames_in,
+            "batches_in": self.batches_in,
+            "bytes_out": self.bytes_out,
+            "frames_out": self.frames_out,
+            "batches_out": self.batches_out,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, int]) -> "TransportStats":
+        return TransportStats(**{k: int(data.get(k, 0)) for k in (
+            "bytes_in", "frames_in", "batches_in",
+            "bytes_out", "frames_out", "batches_out",
+        )})
+
+
+class BatchWriter:
+    """Per-connection writer task: concurrent sends coalesce per flush.
+
+    ``send(body)`` frames ``body`` (header + payload appended straight into
+    a shared ``bytearray`` — no per-frame ``bytes`` concatenation) and wakes
+    the drain task; the drain task swaps the buffer out and issues **one**
+    ``writer.write()`` + ``drain()`` for everything accumulated since the
+    last flush.  Frames enqueued while a flush's ``drain()`` awaits pile
+    into the next flush, so batch size adapts to backpressure by itself.
+
+    ``flush_delay`` bounds how long a lone frame may sit before its flush:
+    ``0.0`` flushes on the next event-loop turn (minimum latency, still
+    coalescing same-breath sends); a positive deadline micro-batches
+    trickle traffic at the cost of that much latency.
+
+    ``batching=False`` degrades to one ``write()`` per frame issued
+    synchronously inside ``send`` — the PR 8 wire behaviour, kept as the
+    benchmark baseline and for A/B tests.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        stats: Optional[TransportStats] = None,
+        flush_delay: float = FLUSH_DEADLINE,
+        batching: bool = True,
+    ) -> None:
+        self._writer = writer
+        self.stats = stats if stats is not None else TransportStats()
+        self._flush_delay = flush_delay
+        self._batching = batching
+        self._buffer = bytearray()
+        self._pending_frames = 0
+        self._wake = asyncio.Event()
+        self._closing = False
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> "BatchWriter":
+        """Spawn the drain task (must run inside the owning event loop)."""
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._run())
+        return self
+
+    def send(self, body: _Bytes) -> None:
+        """Enqueue one frame for the next flush (never blocks)."""
+        if self._closing:
+            return
+        if len(body) > MAX_FRAME_BYTES:
+            raise FramingError(f"frame of {len(body)} bytes exceeds cap {MAX_FRAME_BYTES}")
+        if not self._batching:
+            frame = HEADER.pack(len(body)) + bytes(body)
+            self._writer.write(frame)
+            self.stats.bytes_out += len(frame)
+            self.stats.frames_out += 1
+            self.stats.batches_out += 1
+            self._wake.set()  # the drain task awaits writer.drain()
+            return
+        buffer = self._buffer
+        buffer += HEADER.pack(len(body))
+        buffer += body
+        self._pending_frames += 1
+        self._wake.set()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes framed but not yet flushed (batching mode)."""
         return len(self._buffer)
 
+    async def _run(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                if self._batching and self._flush_delay > 0 and not self._closing:
+                    # Bounded micro-batch window: let same-deadline sends pile up.
+                    await asyncio.sleep(self._flush_delay)
+                self._wake.clear()
+                await self._flush()
+                if self._closing and not self._buffer:
+                    return
+        except (ConnectionError, ConnectionResetError):
+            return
+        except asyncio.CancelledError:
+            raise
 
-class _Incomplete:
-    """Sentinel: the buffer does not yet hold a whole frame."""
+    async def _flush(self) -> None:
+        if self._batching and self._buffer:
+            buffer = self._buffer
+            frames = self._pending_frames
+            self._buffer = bytearray()
+            self._pending_frames = 0
+            self._writer.write(buffer)
+            self.stats.bytes_out += len(buffer)
+            self.stats.frames_out += frames
+            self.stats.batches_out += 1
+        await self._writer.drain()
+
+    async def aclose(self) -> None:
+        """Flush everything pending, then stop the drain task."""
+        self._closing = True
+        self._wake.set()
+        if self._task is not None:
+            try:
+                await asyncio.wait_for(asyncio.shield(self._task), timeout=5.0)
+            except (asyncio.TimeoutError, ConnectionError, asyncio.CancelledError):
+                # Timeout/broken pipe — or teardown cancelled *us* (event-loop
+                # shutdown cancels every task, the drain task included, and a
+                # cancelled shield re-raises here).  Either way: stop draining.
+                self._task.cancel()
+            except Exception:
+                pass
+        elif self._buffer:
+            try:
+                await self._flush()
+            except ConnectionError:
+                pass
 
 
-_INCOMPLETE = _Incomplete()
-
-
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+async def read_frame_raw(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame body as raw bytes; ``None`` on clean EOF at a boundary."""
     try:
         header = await reader.readexactly(HEADER.size)
     except asyncio.IncompleteReadError as exc:
@@ -100,15 +304,19 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
     if length > MAX_FRAME_BYTES:
         raise FramingError(f"frame of {length} bytes exceeds cap {MAX_FRAME_BYTES}")
     try:
-        body = await reader.readexactly(length)
+        return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FramingError("connection closed mid-frame") from exc
-    try:
-        return json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise FramingError(f"malformed frame body: {exc}") from exc
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Any]:
+    """Read one JSON frame; ``None`` on clean EOF at a frame boundary."""
+    body = await read_frame_raw(reader)
+    if body is None:
+        return None
+    return _parse_json_body(body)
 
 
 def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
-    """Buffer one frame on ``writer`` (callers drain at their own cadence)."""
+    """Buffer one JSON frame on ``writer`` (callers drain at their own cadence)."""
     writer.write(encode_frame(payload))

@@ -8,15 +8,24 @@ here over real sockets, unmodified:
   :class:`~repro.registers.base.RegisterProcess` instances are created
   lazily on first touch, exactly like the simulated store's subnets;
 * replica-to-replica protocol traffic and client invocations travel as
-  length-prefixed JSON frames (:mod:`repro.transport.framing`) with message
-  payloads encoded by the registry codec (:mod:`repro.transport.codec`);
+  length-prefixed frames (:mod:`repro.transport.framing`) whose bodies are
+  encoded by a **per-connection negotiated wire codec** — struct-packed
+  binary (:mod:`repro.transport.codec_binary`) when both ends agree on the
+  schema signature, UTF-8 JSON otherwise;
+* every connection runs a :class:`~repro.transport.framing.BatchWriter`
+  (concurrent sends coalesce into one ``write()``/``drain()`` per flush)
+  and a chunked read loop feeding a cursor
+  :class:`~repro.transport.framing.FrameDecoder`, with per-connection
+  :class:`~repro.transport.framing.TransportStats` surfaced in metrics;
 * the **client runner** (:func:`run_live_workload`) replays a seeded
   :class:`~repro.workloads.kv.KVWorkloadSpec` operation stream — the *same*
   stream a simulated run of that spec executes, because the op-mix RNG is
   independent of the arrival model — and records client-observed
   invocation/response wall timestamps into the columnar
   :class:`~repro.exec.oplog.OpLog`, so live histories feed the unmodified
-  Wing–Gong linearizability checker.
+  Wing–Gong linearizability checker.  (Batching delays sit strictly inside
+  the client-observed [invoke, response] interval, so the checker stays
+  sound; see DESIGN §13.)
 
 Failure semantics: live connections either work or the run fails loudly —
 a dropped connection, a codec error or a deadline overrun marks the
@@ -44,14 +53,35 @@ from repro.registers.base import OperationKind, OperationRecord
 from repro.sim.network import NetworkStats
 from repro.sim.tracing import Tracer
 from repro.transport.base import TransportClosedError
-from repro.transport.codec import decode_message, encode_message
-from repro.transport.framing import FramingError, read_frame, write_frame
+from repro.transport.codec import CodecError
+from repro.transport.codec_binary import (
+    CODEC_PREFERENCE,
+    WireCodec,
+    offered_codecs,
+    schema_signature,
+    select_codec,
+)
+from repro.transport.framing import (
+    FLUSH_DEADLINE,
+    BatchWriter,
+    FrameDecoder,
+    FramingError,
+    TransportStats,
+    read_frame,
+    read_frame_raw,
+    write_frame,
+)
 
 #: Seconds allowed for cluster boot (spawn + port discovery + peer wiring).
 STARTUP_TIMEOUT = 30.0
 
 #: Floor for the completion deadline of a whole run.
 MIN_RUN_TIMEOUT = 30.0
+
+#: Socket read-chunk size: one ``read()`` returns up to this many bytes, and
+#: the frame decoder pulls every whole frame out of the chunk — many frames
+#: per syscall on a busy connection (counted as one inbound batch).
+READ_CHUNK = 64 * 1024
 
 
 # ------------------------------------------------------------------ wall clock
@@ -67,14 +97,19 @@ class WallClock:
     event log to correlate against.
     """
 
-    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+    def __init__(
+        self, loop: Optional[asyncio.AbstractEventLoop] = None, epoch: Optional[float] = None
+    ) -> None:
         self._loop = loop if loop is not None else asyncio.get_event_loop()
-        self._epoch = self._loop.time()
+        #: Loop-time instant that reads as 0.  Loadgen workers pass a shared
+        #: parent epoch so timestamps are comparable across processes
+        #: (CLOCK_MONOTONIC is system-wide on Linux).
+        self._epoch = self._loop.time() if epoch is None else epoch
         self.tracer = Tracer(enabled=False)
 
     @property
     def now(self) -> float:
-        """Seconds since this clock was created (monotonic)."""
+        """Seconds since this clock's epoch (monotonic)."""
         return self._loop.time() - self._epoch
 
     def schedule_at(self, at: float, action: Callable[[], None], label: str = "") -> Any:
@@ -99,6 +134,76 @@ class WallClock:
             "the wall clock cannot drive execution synchronously; "
             "live runs are driven by asyncio (see repro.transport.live)"
         )
+
+
+# -------------------------------------------------------------- connections
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle on a live socket.
+
+    The protocol is request/response chatter in both directions; Nagle plus
+    delayed ACKs turns every sequential hop into a ~10–40 ms stall on
+    loopback.  The :class:`~repro.transport.framing.BatchWriter` already
+    coalesces writes into one syscall per flush, which is the congestion
+    behaviour Nagle exists to approximate — so the kernel-side delay buys
+    nothing and costs milliseconds per hop.
+    """
+    import socket
+
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP or torn socket
+            pass
+
+
+class Connection:
+    """One live socket with its negotiated codec, batcher and counters."""
+
+    __slots__ = ("reader", "writer", "codec", "stats", "batch", "label")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        codec: WireCodec,
+        label: str,
+        batching: bool = True,
+        flush_delay: float = FLUSH_DEADLINE,
+    ) -> None:
+        if batching:
+            # The fast path owns its coalescing (one write per flush), so
+            # Nagle only adds hop latency.  The baseline mode keeps default
+            # socket options — PR 8's exact wire behaviour, for honest A/B.
+            _set_nodelay(writer)
+        self.reader = reader
+        self.writer = writer
+        self.codec = codec
+        self.stats = TransportStats()
+        self.batch = BatchWriter(
+            writer, stats=self.stats, flush_delay=flush_delay, batching=batching
+        ).start()
+        self.label = label
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Encode and enqueue one frame (coalesced into the next flush)."""
+        self.batch.send(self.codec.encode(payload))
+
+    async def read_direct(self) -> Optional[Dict[str, Any]]:
+        """Read one frame outside the chunked loop (handshake-phase only)."""
+        body = await read_frame_raw(self.reader)
+        if body is None:
+            return None
+        return self.codec.decode(body)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"label": self.label, "codec": self.codec.name, **self.stats.as_dict()}
+
+    async def aclose(self) -> None:
+        await self.batch.aclose()
+        self.writer.close()
 
 
 # ------------------------------------------------------------- replica server
@@ -137,13 +242,7 @@ class LiveKeyNet:
         self.stats.record_send(src, message)
         self.server.send_peer(
             dst,
-            {
-                "kind": "msg",
-                "key": self.key,
-                "src": src,
-                "dst": dst,
-                "msg": encode_message(message),
-            },
+            {"kind": "msg", "key": self.key, "src": src, "dst": dst, "msg": message},
         )
 
     def broadcast(self, src: int, message_factory: Callable[[int], Any]) -> None:
@@ -163,7 +262,7 @@ class _KeyRuntime:
     def __init__(self, net: LiveKeyNet, process: Any) -> None:
         self.net = net
         self.process = process
-        #: Queued client invokes: (op_id, kind, value, reply writer).
+        #: Queued client invokes: (op_id, kind, value, reply connection).
         self.pending: deque = deque()
 
 
@@ -171,7 +270,13 @@ class _ReplicaServer:
     """State of one replica server process (runs inside ``replica_main``)."""
 
     def __init__(
-        self, replica_id: int, n: int, algorithm_name: str, initial_value: Any
+        self,
+        replica_id: int,
+        n: int,
+        algorithm_name: str,
+        initial_value: Any,
+        codecs: Tuple[str, ...] = CODEC_PREFERENCE,
+        batching: bool = True,
     ) -> None:
         from repro.registers.registry import get_algorithm
 
@@ -179,6 +284,8 @@ class _ReplicaServer:
         self.n = n
         self.algorithm = get_algorithm(algorithm_name)
         self.initial_value = initial_value
+        self.codecs = tuple(codecs) if "json" in codecs else tuple(codecs) + ("json",)
+        self.batching = batching
         self.clock = WallClock(asyncio.get_running_loop())
         self.stats = NetworkStats()
         self.keys: Dict[Any, _KeyRuntime] = {}
@@ -186,6 +293,8 @@ class _ReplicaServer:
         self.peers_known = asyncio.Event()
         self.shutdown = asyncio.Event()
         self._peer_queues: Dict[int, asyncio.Queue] = {}
+        self._peer_conns: Dict[int, Connection] = {}
+        self._accepted: List[Connection] = []
         self._tasks: List[asyncio.Task] = []
 
     # ------------------------------------------------------------- registers
@@ -209,6 +318,12 @@ class _ReplicaServer:
     # ---------------------------------------------------------- peer sending
 
     def send_peer(self, dst: int, payload: Dict[str, Any]) -> None:
+        conn = self._peer_conns.get(dst)
+        if conn is not None:
+            # Steady state: straight into the connection's BatchWriter — no
+            # queue hop, no writer-task wakeup per message.
+            conn.send(payload)
+            return
         queue = self._peer_queues.get(dst)
         if queue is None:
             queue = self._peer_queues[dst] = asyncio.Queue()
@@ -216,16 +331,45 @@ class _ReplicaServer:
         queue.put_nowait(payload)
 
     async def _peer_writer(self, dst: int, queue: asyncio.Queue) -> None:
-        """Dial ``dst`` once the port map is known, then drain the queue forever."""
+        """Dial ``dst`` once the port map is known, drain the backlog, hand off.
+
+        Messages sent before the link is up buffer in ``queue``; once the
+        handshake finishes this task drains the backlog in FIFO order and
+        then publishes the connection for :meth:`send_peer`'s direct path.
+        The drain loop is purely synchronous, so no new message can slip in
+        between the final ``queue.empty()`` check and the publish.
+        """
         await self.peers_known.wait()
         reader, writer = await asyncio.open_connection("127.0.0.1", self.peer_ports[dst])
-        write_frame(writer, {"kind": "hello", "role": "peer", "src": self.replica_id})
+        write_frame(
+            writer,
+            {
+                "kind": "hello",
+                "role": "peer",
+                "src": self.replica_id,
+                "codecs": list(self.codecs),
+                "sig": schema_signature(),
+            },
+        )
+        await writer.drain()
+        ack = await read_frame(reader)
+        if not ack or ack.get("kind") != "hello_ack":
+            writer.close()
+            return
+        conn = Connection(
+            reader,
+            writer,
+            select_codec([ack.get("codec", "json")], schema_signature(), self.codecs),
+            label=f"peer->{dst}",
+            batching=self.batching,
+        )
         try:
-            while True:
-                payload = await queue.get()
-                write_frame(writer, payload)
-                if queue.empty():
-                    await writer.drain()
+            # Drain the pre-handshake backlog, then publish the connection:
+            # both steps run in one synchronous stretch, so FIFO order is
+            # preserved across the handoff to the direct path.
+            while not queue.empty():
+                conn.send(queue.get_nowait())
+            self._peer_conns[dst] = conn
         except (asyncio.CancelledError, ConnectionError):
             writer.close()
             raise
@@ -235,87 +379,123 @@ class _ReplicaServer:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        conn: Optional[Connection] = None
+        if self.batching:
+            _set_nodelay(writer)
         try:
             hello = await read_frame(reader)
             if hello is None or hello.get("kind") != "hello":
                 return
+            codec = select_codec(hello.get("codecs"), hello.get("sig"), self.codecs)
+            write_frame(
+                writer,
+                {"kind": "hello_ack", "codec": codec.name, "replica": self.replica_id},
+            )
+            await writer.drain()
             if hello.get("role") == "peer":
-                await self._serve_peer(reader)
+                label = f"peer<-{hello.get('src', '?')}"
             else:
-                await self._serve_client(reader, writer)
-        except (FramingError, ConnectionError):
+                label = "client"
+            conn = Connection(reader, writer, codec, label, batching=self.batching)
+            self._accepted.append(conn)
+            if hello.get("role") == "peer":
+                await self._serve_peer(conn)
+            else:
+                await self._serve_client(conn)
+        except (FramingError, CodecError, ConnectionError):
             # A torn connection fails the affected ops on the client side
             # (deadline); the server just drops the stream.
             pass
+        except asyncio.CancelledError:
+            # Process teardown: asyncio.run cancels every task, and Python
+            # 3.11's streams callback logs a handler task that ends
+            # *cancelled* as a spurious "Exception in callback".  The cancel
+            # still stops the handler — just end it normally.
+            pass
         finally:
+            if conn is not None:
+                try:
+                    await conn.batch.aclose()
+                except asyncio.CancelledError:
+                    pass
             writer.close()
 
-    async def _serve_peer(self, reader: asyncio.StreamReader) -> None:
+    async def _serve_peer(self, conn: Connection) -> None:
+        decoder = FrameDecoder(raw=True)
         while True:
-            frame = await read_frame(reader)
-            if frame is None:
+            chunk = await conn.reader.read(READ_CHUNK)
+            if not chunk:
                 return
-            runtime = self.runtime_for(frame["key"])
-            runtime.process.deliver(frame["src"], decode_message(frame["msg"]))
-            self._pump(runtime, None)
-
-    async def _serve_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        while True:
-            frame = await read_frame(reader)
-            if frame is None:
-                return
-            kind = frame.get("kind")
-            if kind == "invoke":
+            conn.stats.note_chunk_in(len(chunk))
+            for body in decoder.feed(chunk):
+                conn.stats.frames_in += 1
+                frame = conn.codec.decode(body)
                 runtime = self.runtime_for(frame["key"])
-                runtime.pending.append(
-                    (frame["op_id"], frame["op"], frame.get("value"), writer)
-                )
-                self._pump(runtime, writer)
-            elif kind == "peers":
-                self.peer_ports = {int(pid): port for pid, port in frame["ports"].items()}
-                self.peers_known.set()
-                write_frame(writer, {"kind": "peers_ok", "replica": self.replica_id})
-                await writer.drain()
-            elif kind == "stats":
-                write_frame(
-                    writer,
-                    {
-                        "kind": "stats_reply",
-                        "replica": self.replica_id,
-                        "messages_sent": self.stats.messages_sent,
-                        "keys": len(self.keys),
-                    },
-                )
-                await writer.drain()
-            elif kind == "shutdown":
-                self.close()
-                write_frame(writer, {"kind": "bye", "replica": self.replica_id})
-                await writer.drain()
-                self.shutdown.set()
+                runtime.process.deliver(frame["src"], frame["msg"])
+                self._pump(runtime)
+
+    async def _serve_client(self, conn: Connection) -> None:
+        decoder = FrameDecoder(raw=True)
+        while True:
+            chunk = await conn.reader.read(READ_CHUNK)
+            if not chunk:
                 return
+            conn.stats.note_chunk_in(len(chunk))
+            for body in decoder.feed(chunk):
+                conn.stats.frames_in += 1
+                frame = conn.codec.decode(body)
+                kind = frame.get("kind")
+                if kind == "invoke":
+                    runtime = self.runtime_for(frame["key"])
+                    runtime.pending.append(
+                        (frame["op_id"], frame["op"], frame.get("value"), conn)
+                    )
+                    self._pump(runtime)
+                elif kind == "peers":
+                    self.peer_ports = {
+                        int(pid): port for pid, port in frame["ports"].items()
+                    }
+                    self.peers_known.set()
+                    conn.send({"kind": "peers_ok", "replica": self.replica_id})
+                elif kind == "stats":
+                    conn.send(self._stats_reply())
+                elif kind == "shutdown":
+                    self.close()
+                    conn.send({"kind": "bye", "replica": self.replica_id})
+                    await conn.batch.aclose()
+                    self.shutdown.set()
+                    return
+
+    def _stats_reply(self) -> Dict[str, Any]:
+        return {
+            "kind": "stats_reply",
+            "replica": self.replica_id,
+            "messages_sent": self.stats.messages_sent,
+            "keys": len(self.keys),
+            "transport": self.transport_snapshot(),
+        }
+
+    def transport_snapshot(self) -> List[Dict[str, Any]]:
+        """Per-connection byte/frame/batch counters, inbound and outbound."""
+        conns = self._accepted + [
+            self._peer_conns[dst] for dst in sorted(self._peer_conns)
+        ]
+        return [conn.snapshot() for conn in conns]
 
     # ---------------------------------------------------------------- invokes
 
-    def _pump(self, runtime: _KeyRuntime, writer: Optional[asyncio.StreamWriter]) -> None:
+    def _pump(self, runtime: _KeyRuntime) -> None:
         """Issue queued invokes while the (sequential) register process is free."""
         process = runtime.process
         while runtime.pending:
             current = process.current_operation
             if current is not None and not current.completed:
                 return  # busy; the completion callback pumps again
-            op_id, op, value, reply_writer = runtime.pending.popleft()
+            op_id, op, value, reply_conn = runtime.pending.popleft()
 
-            def finish(record: OperationRecord, op_id: int = op_id, w=reply_writer) -> None:
-                write_frame(
-                    w,
-                    {
-                        "kind": "result",
-                        "op_id": op_id,
-                        "ok": True,
-                        "value": record.result,
-                    },
+            def finish(record: OperationRecord, op_id: int = op_id, c=reply_conn) -> None:
+                c.send(
+                    {"kind": "result", "op_id": op_id, "ok": True, "value": record.result}
                 )
 
             try:
@@ -324,9 +504,8 @@ class _ReplicaServer:
                 else:
                     process.invoke_read(finish)
             except Exception as exc:  # wrong-writer routing, crashed process, ...
-                write_frame(
-                    reply_writer,
-                    {"kind": "result", "op_id": op_id, "ok": False, "error": str(exc)},
+                reply_conn.send(
+                    {"kind": "result", "op_id": op_id, "ok": False, "error": str(exc)}
                 )
 
     # --------------------------------------------------------------- teardown
@@ -339,16 +518,50 @@ class _ReplicaServer:
 
 
 def replica_main(
-    replica_id: int, n: int, algorithm_name: str, initial_value: Any, port_queue: Any
+    replica_id: int,
+    n: int,
+    algorithm_name: str,
+    initial_value: Any,
+    port_queue: Any,
+    codecs: Tuple[str, ...] = CODEC_PREFERENCE,
+    batching: bool = True,
 ) -> None:
     """Entry point of one replica server process (multiprocessing spawn)."""
-    asyncio.run(_replica_async_main(replica_id, n, algorithm_name, initial_value, port_queue))
+    import os
+
+    profile_dir = os.environ.get("REPRO_LIVE_PROFILE")
+    if profile_dir:  # pragma: no cover - diagnostics only
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            asyncio.run(
+                _replica_async_main(
+                    replica_id, n, algorithm_name, initial_value, port_queue, codecs, batching
+                )
+            )
+        finally:
+            prof.disable()
+            prof.dump_stats(os.path.join(profile_dir, f"replica{replica_id}.prof"))
+        return
+    asyncio.run(
+        _replica_async_main(
+            replica_id, n, algorithm_name, initial_value, port_queue, codecs, batching
+        )
+    )
 
 
 async def _replica_async_main(
-    replica_id: int, n: int, algorithm_name: str, initial_value: Any, port_queue: Any
+    replica_id: int,
+    n: int,
+    algorithm_name: str,
+    initial_value: Any,
+    port_queue: Any,
+    codecs: Tuple[str, ...] = CODEC_PREFERENCE,
+    batching: bool = True,
 ) -> None:
-    server = _ReplicaServer(replica_id, n, algorithm_name, initial_value)
+    server = _ReplicaServer(replica_id, n, algorithm_name, initial_value, codecs, batching)
     tcp_server = await asyncio.start_server(server.handle_connection, "127.0.0.1", 0)
     port = tcp_server.sockets[0].getsockname()[1]
     port_queue.put((replica_id, port))
@@ -356,6 +569,102 @@ async def _replica_async_main(
         await server.shutdown.wait()
         # Give in-flight result frames a beat to flush before the loop dies.
         await asyncio.sleep(0.05)
+
+
+# --------------------------------------------------------------- cluster boot
+
+
+class LiveCluster:
+    """Boot/teardown of one loopback replica cluster (spawned processes).
+
+    Shared by the single-client runner (:func:`run_live_workload`) and the
+    multi-process load generator (:mod:`repro.transport.loadgen`), which
+    boots one cluster here in the parent and fans client workers out at it.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm: str,
+        initial_value: Any,
+        server_codecs: Tuple[str, ...] = CODEC_PREFERENCE,
+        batching: bool = True,
+    ) -> None:
+        self.n = n
+        self.algorithm = algorithm
+        self.initial_value = initial_value
+        self.server_codecs = tuple(server_codecs)
+        self.batching = batching
+        self.servers: List[Any] = []
+        self.ports: Dict[int, int] = {}
+
+    async def start(self) -> Dict[int, int]:
+        """Spawn the replica processes and collect their listen ports."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        port_queue = ctx.Queue()
+        self.servers = [
+            ctx.Process(
+                target=replica_main,
+                args=(
+                    replica,
+                    self.n,
+                    self.algorithm,
+                    self.initial_value,
+                    port_queue,
+                    self.server_codecs,
+                    self.batching,
+                ),
+                daemon=True,
+            )
+            for replica in range(self.n)
+        ]
+        for server in self.servers:
+            server.start()
+        loop = asyncio.get_running_loop()
+        boot_deadline = time.monotonic() + STARTUP_TIMEOUT
+        while len(self.ports) < self.n:
+            budget = boot_deadline - time.monotonic()
+            if budget <= 0:
+                raise RuntimeError(
+                    f"cluster boot timed out; got ports for {sorted(self.ports)}"
+                )
+            try:
+                # Short poll chunks so a replica that died on startup fails
+                # the boot in well under a second, not after the full budget.
+                replica, port = await loop.run_in_executor(
+                    None, port_queue.get, True, min(0.25, budget)
+                )
+            except Exception:  # queue.Empty on poll timeout
+                dead = [
+                    i
+                    for i, server in enumerate(self.servers)
+                    if server.exitcode is not None and i not in self.ports
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"replica server(s) {dead} died during cluster boot "
+                        f"(exit codes {[self.servers[i].exitcode for i in dead]}). "
+                        "Live clusters use multiprocessing spawn: the parent's "
+                        "__main__ must be importable (run from a script file, "
+                        "the CLI or pytest — not a stdin/REPL session) and the "
+                        "algorithm name must exist in the registry."
+                    ) from None
+                continue
+            self.ports[replica] = port
+        return dict(self.ports)
+
+    async def stop(self, budget: float = 5.0) -> None:
+        """Join the replica processes, escalating to terminate past ``budget``."""
+        loop = asyncio.get_running_loop()
+        deadline = time.monotonic() + budget
+        for server in self.servers:
+            timeout = max(0.1, deadline - time.monotonic())
+            await loop.run_in_executor(None, server.join, timeout)
+            if server.is_alive():
+                server.terminate()
+                await loop.run_in_executor(None, server.join, 1.0)
 
 
 # ------------------------------------------------------------- client runner
@@ -377,7 +686,9 @@ class LiveKVResult:
     submitted: int
     completed: int
     failed: int
-    #: Wall-clock metrics snapshot (p50/p95/p99 in seconds, wall throughput).
+    #: Wall-clock metrics snapshot (p50/p95/p99 in seconds, wall throughput,
+    #: and a ``transport`` section with per-connection byte/frame/batch
+    #: counters plus derived bytes/op and frames-per-flush).
     metrics: Dict[str, Any] = field(default_factory=dict)
     #: Sum of protocol messages sent across all replica servers.
     messages_total: int = 0
@@ -415,67 +726,137 @@ class _PendingOp:
         self.future = future
 
 
-class _LiveClient:
+class LiveClient:
     """One connection per replica plus op-id dispatch of result frames."""
 
-    def __init__(self) -> None:
-        self.writers: Dict[int, asyncio.StreamWriter] = {}
-        self.readers: Dict[int, asyncio.StreamReader] = {}
+    def __init__(self, codec: str = "binary", batching: bool = True) -> None:
+        self.codec_preference = codec
+        self.batching = batching
+        self.conns: Dict[int, Connection] = {}
         self.pending: Dict[int, _PendingOp] = {}
         self.stats_replies: Dict[int, Dict[str, Any]] = {}
         self._reader_tasks: List[asyncio.Task] = []
 
     async def connect(self, ports: Dict[int, int]) -> None:
+        offered = list(offered_codecs(self.codec_preference))
         for replica, port in sorted(ports.items()):
             reader, writer = await asyncio.open_connection("127.0.0.1", port)
-            write_frame(writer, {"kind": "hello", "role": "client"})
+            if self.batching:
+                _set_nodelay(writer)
+            write_frame(
+                writer,
+                {
+                    "kind": "hello",
+                    "role": "client",
+                    "codecs": offered,
+                    "sig": schema_signature(),
+                },
+            )
             await writer.drain()
-            self.readers[replica] = reader
-            self.writers[replica] = writer
+            ack = await read_frame(reader)
+            if not ack or ack.get("kind") != "hello_ack":
+                raise RuntimeError(f"replica {replica} failed the codec handshake: {ack}")
+            codec = select_codec([ack.get("codec", "json")], schema_signature(), ("binary", "json"))
+            self.conns[replica] = Connection(
+                reader, writer, codec, f"->r{replica}", batching=self.batching
+            )
+
+    @property
+    def codec_name(self) -> str:
+        """The negotiated codec (same on every connection of this client)."""
+        names = {conn.codec.name for conn in self.conns.values()}
+        return names.pop() if len(names) == 1 else "/".join(sorted(names))
 
     async def wire_peers(self, ports: Dict[int, int]) -> None:
         """Distribute the port map; every replica must ack before ops flow."""
         payload = {"kind": "peers", "ports": {str(pid): port for pid, port in ports.items()}}
-        for replica, writer in self.writers.items():
-            write_frame(writer, payload)
-            await writer.drain()
-            ack = await read_frame(self.readers[replica])
+        for replica, conn in self.conns.items():
+            conn.send(payload)
+            ack = await conn.read_direct()
             if not ack or ack.get("kind") != "peers_ok":
                 raise RuntimeError(f"replica {replica} failed the peers handshake: {ack}")
 
     def start_readers(self) -> None:
-        for replica, reader in self.readers.items():
-            self._reader_tasks.append(asyncio.ensure_future(self._read_loop(replica, reader)))
+        for replica, conn in self.conns.items():
+            self._reader_tasks.append(
+                asyncio.ensure_future(self._read_loop(replica, conn))
+            )
 
-    async def _read_loop(self, replica: int, reader: asyncio.StreamReader) -> None:
+    async def _read_loop(self, replica: int, conn: Connection) -> None:
+        decoder = FrameDecoder(raw=True)
         try:
             while True:
-                frame = await read_frame(reader)
-                if frame is None:
+                chunk = await conn.reader.read(READ_CHUNK)
+                if not chunk:
                     return
-                kind = frame.get("kind")
-                if kind == "result":
-                    op = self.pending.pop(frame["op_id"], None)
-                    if op is not None and not op.future.done():
-                        op.future.set_result(frame)
-                elif kind == "stats_reply":
-                    self.stats_replies[replica] = frame
-        except (FramingError, ConnectionError):
+                conn.stats.note_chunk_in(len(chunk))
+                for body in decoder.feed(chunk):
+                    conn.stats.frames_in += 1
+                    frame = conn.codec.decode(body)
+                    kind = frame.get("kind")
+                    if kind == "result":
+                        op = self.pending.pop(frame["op_id"], None)
+                        if op is not None and not op.future.done():
+                            op.future.set_result(frame)
+                    elif kind == "stats_reply":
+                        self.stats_replies[replica] = frame
+        except (FramingError, CodecError, ConnectionError):
             return
 
+    async def drain_stats(self, timeout: float = 5.0) -> int:
+        """Ask every replica for its counters; returns total protocol messages."""
+        for conn in self.conns.values():
+            conn.send({"kind": "stats"})
+        deadline = time.monotonic() + timeout
+        while len(self.stats_replies) < len(self.conns) and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        return sum(
+            reply.get("messages_sent", 0) for reply in self.stats_replies.values()
+        )
+
+    def transport_summary(self, completed: int) -> Dict[str, Any]:
+        """Metrics-snapshot section: per-connection counters + derived rates."""
+        client_rows = [
+            self.conns[replica].snapshot() for replica in sorted(self.conns)
+        ]
+        replica_rows: Dict[str, List[Dict[str, Any]]] = {
+            str(replica): reply.get("transport", [])
+            for replica, reply in sorted(self.stats_replies.items())
+        }
+        all_rows = client_rows + [row for rows in replica_rows.values() for row in rows]
+        frames_out = sum(row["frames_out"] for row in all_rows)
+        batches_out = sum(row["batches_out"] for row in all_rows)
+        client_bytes = sum(row["bytes_in"] + row["bytes_out"] for row in client_rows)
+        return {
+            "codec": self.codec_name,
+            "batching": self.batching,
+            "client_connections": client_rows,
+            "replica_connections": replica_rows,
+            "frames_per_flush": (frames_out / batches_out) if batches_out else None,
+            "client_bytes_per_op": (client_bytes / completed) if completed else None,
+        }
+
     async def close(self, send_shutdown: bool = True) -> None:
-        for writer in self.writers.values():
+        for conn in self.conns.values():
             if send_shutdown:
                 try:
-                    write_frame(writer, {"kind": "shutdown"})
-                    await writer.drain()
-                except ConnectionError:
+                    conn.send({"kind": "shutdown"})
+                except (ConnectionError, FramingError):
                     pass
+        for conn in self.conns.values():
+            try:
+                await conn.batch.aclose()
+            except ConnectionError:
+                pass
         await asyncio.sleep(0.1)  # let servers ack/flush before the sockets die
         for task in self._reader_tasks:
             task.cancel()
-        for writer in self.writers.values():
-            writer.close()
+        for conn in self.conns.values():
+            conn.writer.close()
+
+
+#: Back-compat alias (pre-PR 9 name).
+_LiveClient = LiveClient
 
 
 def _live_arrival_offsets(spec: Any) -> List[float]:
@@ -485,7 +866,9 @@ def _live_arrival_offsets(spec: Any) -> List[float]:
     return generate_kv_arrivals(spec)
 
 
-def run_live_workload(spec: Any) -> LiveKVResult:
+def run_live_workload(
+    spec: Any, server_codecs: Optional[Tuple[str, ...]] = None
+) -> LiveKVResult:
     """Run ``spec`` against a freshly launched loopback replica cluster.
 
     The operation stream is the spec's seeded stream — identical, op for
@@ -493,9 +876,14 @@ def run_live_workload(spec: Any) -> LiveKVResult:
     fire at their seeded arrival times with ``arrival_rate`` read as
     operations per wall-clock *second*; closed-loop specs submit in batches
     of ``batch_size`` and await each batch.
+
+    ``spec.codec`` picks the client's wire-codec preference (``"binary"``
+    negotiates the fast path, ``"json"`` forces the PR 8 wire);
+    ``server_codecs`` restricts what the replica servers accept (tests use
+    ``("json",)`` to exercise the negotiation fallback).
     """
     _validate_live_spec(spec)
-    return asyncio.run(_run_live_async(spec))
+    return asyncio.run(_run_live_async(spec, server_codecs))
 
 
 def _validate_live_spec(spec: Any) -> None:
@@ -513,59 +901,33 @@ def _validate_live_spec(spec: Any) -> None:
         raise ValueError("a live register cluster needs at least 2 replicas")
 
 
-async def _run_live_async(spec: Any) -> LiveKVResult:
-    import multiprocessing
-
+async def _run_live_async(
+    spec: Any, server_codecs: Optional[Tuple[str, ...]] = None
+) -> LiveKVResult:
     from repro.workloads.kv import iter_kv_operations
 
     n = spec.replication
-    ctx = multiprocessing.get_context("spawn")
-    port_queue = ctx.Queue()
-    servers = [
-        ctx.Process(
-            target=replica_main,
-            args=(replica, n, spec.algorithm, spec.initial_value, port_queue),
-            daemon=True,
-        )
-        for replica in range(n)
-    ]
+    batching = getattr(spec, "write_batching", True)
+    if server_codecs is None:
+        # A JSON-preference spec is the PR 8 baseline: the *whole* cluster
+        # (replica-to-replica peer links included) speaks JSON, not just the
+        # client connections.
+        server_codecs = ("json",) if getattr(spec, "codec", "binary") == "json" else CODEC_PREFERENCE
+    cluster = LiveCluster(
+        n,
+        spec.algorithm,
+        spec.initial_value,
+        server_codecs=server_codecs,
+        batching=batching,
+    )
     started = time.perf_counter()
-    for server in servers:
-        server.start()
     loop = asyncio.get_running_loop()
-    client = _LiveClient()
+    client = LiveClient(codec=getattr(spec, "codec", "binary"), batching=batching)
     oplog = OpLog()
     metrics = MetricsCollector(wall_clock=True)
     clean = True
     try:
-        ports: Dict[int, int] = {}
-        boot_deadline = time.monotonic() + STARTUP_TIMEOUT
-        while len(ports) < n:
-            budget = boot_deadline - time.monotonic()
-            if budget <= 0:
-                raise RuntimeError(f"cluster boot timed out; got ports for {sorted(ports)}")
-            try:
-                # Short poll chunks so a replica that died on startup fails
-                # the boot in well under a second, not after the full budget.
-                replica, port = await loop.run_in_executor(
-                    None, port_queue.get, True, min(0.25, budget)
-                )
-            except Exception:  # queue.Empty on poll timeout
-                dead = [
-                    i for i, server in enumerate(servers)
-                    if server.exitcode is not None and i not in ports
-                ]
-                if dead:
-                    raise RuntimeError(
-                        f"replica server(s) {dead} died during cluster boot "
-                        f"(exit codes {[servers[i].exitcode for i in dead]}). "
-                        "Live clusters use multiprocessing spawn: the parent's "
-                        "__main__ must be importable (run from a script file, "
-                        "the CLI or pytest — not a stdin/REPL session) and the "
-                        "algorithm name must exist in the registry."
-                    ) from None
-                continue
-            ports[replica] = port
+        ports = await cluster.start()
         await client.connect(ports)
         await client.wire_peers(ports)
         client.start_readers()
@@ -597,15 +959,14 @@ async def _run_live_async(spec: Any) -> LiveKVResult:
             metrics.note_issued(now)
             pending = _PendingOp(row, record, loop.create_future())
             client.pending[op_id] = pending
-            write_frame(
-                client.writers[replica],
+            client.conns[replica].send(
                 {
                     "kind": "invoke",
                     "op_id": op_id,
                     "op": "write" if kind is OperationKind.WRITE else "read",
                     "key": key,
                     "value": value,
-                },
+                }
             )
             return pending
 
@@ -661,26 +1022,14 @@ async def _run_live_async(spec: Any) -> LiveKVResult:
                 if not all(p.record.completed for p in fired):
                     break  # a wedged batch: fail fast, do not pile more on
 
-        # Drain message totals from every replica before shutdown.
-        for replica, writer in client.writers.items():
-            write_frame(writer, {"kind": "stats"})
-            await writer.drain()
-        stats_deadline = time.monotonic() + 5.0
-        while len(client.stats_replies) < n and time.monotonic() < stats_deadline:
-            await asyncio.sleep(0.01)
-        messages_total = sum(
-            reply.get("messages_sent", 0) for reply in client.stats_replies.values()
-        )
+        # Drain message totals + transport counters from every replica.
+        messages_total = await client.drain_stats()
+        transport = client.transport_summary(metrics.completed)
     finally:
         try:
             await client.close(send_shutdown=True)
         finally:
-            deadline = time.monotonic() + 5.0
-            for server in servers:
-                server.join(timeout=max(0.1, deadline - time.monotonic()))
-                if server.is_alive():
-                    server.terminate()
-                    server.join(timeout=1.0)
+            await cluster.stop()
 
     wall_seconds = time.perf_counter() - started
     completed = metrics.completed
@@ -692,6 +1041,7 @@ async def _run_live_async(spec: Any) -> LiveKVResult:
     snapshot["messages"]["per_completed_op"] = (
         (messages_total / completed) if completed else None
     )
+    snapshot["transport"] = transport
     return LiveKVResult(
         spec=spec,
         oplog=oplog,

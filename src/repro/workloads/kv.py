@@ -141,9 +141,20 @@ class KVWorkloadSpec:
     #: ``arrival_rate`` read as operations per *second*).  The seeded
     #: operation stream is identical on both — only timing differs.
     transport: str = "sim"
+    #: Live-transport wire codec preference: ``"binary"`` (default) negotiates
+    #: the struct-packed fast path per connection, falling back to JSON when
+    #: the server declines; ``"json"`` forces the PR 8 wire (the benchmark
+    #: baseline).  Ignored by the simulator, which never serializes.
+    codec: str = "binary"
+    #: Live-transport write batching: coalesce concurrent sends into one
+    #: ``write()`` per flush (default).  ``False`` restores one syscall per
+    #: frame — the PR 8 behaviour, kept as the benchmark baseline.
+    write_batching: bool = True
 
     def __post_init__(self) -> None:
         validate_transport(self.transport)
+        if self.codec not in ("binary", "json"):
+            raise ValueError(f"unknown wire codec {self.codec!r}; choose binary or json")
         if self.transport == "live":
             if self.workers != 1:
                 raise ValueError("live transport runs single-client; workers must be 1")
