@@ -857,6 +857,127 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _consensus_invariant_violations(store) -> Optional[list]:
+    """Agreement/validity violations off a store's consensus replicas.
+
+    Returns ``None`` when the store deploys no consensus-backed keys (or is
+    a merged parallel view without live processes) — the caller then skips
+    the invariant row entirely instead of claiming a vacuous pass.
+    """
+    from repro.consensus import ConsensusObjectProcess, consensus_invariants
+
+    if not hasattr(store, "deployed_keys") or not hasattr(store, "register_for"):
+        return None
+    by_key = {}
+    for key in store.deployed_keys:
+        processes = [
+            process
+            for process in store.register_for(key).processes
+            if isinstance(process, ConsensusObjectProcess)
+        ]
+        if processes:
+            by_key[key] = processes
+    if not by_key:
+        return None
+    return consensus_invariants(by_key)
+
+
+def cmd_consensus(args: argparse.Namespace) -> int:
+    """Run a consensus-object scenario; gate on the SMR checker + invariants.
+
+    Runs one of the consensus scenarios (``kv_cas``, ``kv_counter``,
+    ``consensus_smoke``) on the simulator or the live loopback cluster,
+    checks every key's history against the SMR specification, and — when
+    the replica processes are reachable (sim, serial) — verifies the
+    protocol-level agreement and validity invariants straight off the
+    decided slots.  Exit 0 only if everything holds.
+    """
+    from repro.workloads.kv import run_kv_workload
+    from repro.workloads.scenarios import consensus_smoke, kv_cas, kv_counter
+
+    builders = {"kv_cas": kv_cas, "kv_counter": kv_counter, "consensus_smoke": consensus_smoke}
+    builder = builders[args.scenario]
+    overrides = {}
+    if args.keys is not None:
+        overrides["num_keys"] = args.keys
+    if args.ops is not None:
+        overrides["num_ops"] = args.ops
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        spec = builder(**overrides)
+        if args.algorithm:
+            spec = spec.with_(algorithm=args.algorithm)
+        if args.workers != 1:
+            spec = spec.with_(workers=args.workers)
+        if args.transport == "live":
+            spec = spec.with_(transport="live")
+    except ValueError as exc:
+        print(f"invalid consensus parameters: {exc}", file=sys.stderr)
+        return 2
+    result = run_kv_workload(spec)
+
+    failures = []
+    if args.transport == "live":
+        report = result.check_linearizability()
+        check_failures = [f"[{key!r}] history fails the SMR spec" for key in report.failing_keys()]
+        completed = result.completed
+        failed = result.failed
+        messages = result.messages_total
+        makespan_row = ["wall seconds", round(result.wall_seconds, 2)]
+        finished = result.finished_cleanly
+        invariants = None
+    else:
+        if result.worker_failure is not None:
+            print("parallel worker failure:", file=sys.stderr)
+            print(result.worker_failure, file=sys.stderr)
+            return 1
+        report = result.check_atomicity(raise_on_violation=False)
+        check_failures = report.violations()
+        completed = len(result.completed_ops())
+        failed = len(result.failed_ops())
+        messages = result.total_messages()
+        makespan_row = ["virtual makespan", round(result.virtual_makespan, 2)]
+        finished = result.finished_cleanly
+        invariants = _consensus_invariant_violations(result.store)
+    if not finished:
+        failures.append("run did not finish cleanly")
+    failures.extend(check_failures)
+    if invariants:
+        failures.extend(invariants)
+
+    rows = [
+        ["scenario", args.scenario],
+        ["algorithm", spec.algorithm],
+        ["transport", args.transport],
+        ["keys / shards / replication", f"{spec.num_keys} / {spec.num_shards} / {spec.replication}"],
+        ["operations completed", completed],
+        ["operations failed", failed],
+        ["total messages", messages],
+        makespan_row,
+        ["per-key SMR-linearizable", f"yes ({report.keys_checked} keys)" if report.ok else "NO"],
+        [
+            "agreement/validity invariants",
+            "n/a (no process access)"
+            if invariants is None
+            else (f"{len(invariants)} violation(s)" if invariants else "hold"),
+        ],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"consensus: {args.scenario} ({spec.algorithm}, seed {spec.seed})",
+        )
+    )
+    if failures:
+        print("\nconsensus run failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _chaos_schedules(quick: bool):
     """The named fault schedules the chaos sweep crosses with seeds.
 
@@ -865,10 +986,13 @@ def _chaos_schedules(quick: bool):
     fault plan.  Quick mode keeps CI smoke runs short (2 schedules).
     """
     from repro.faults import FaultPlan, PartitionSchedule, PartitionWindow, slow_the_writer
-    from repro.workloads.scenarios import chaos, kv_partitioned, kv_uniform
+    from repro.workloads.kv import CrashPoint
+    from repro.workloads.scenarios import chaos, consensus_smoke, kv_partitioned, kv_uniform
 
     num_keys = 8 if quick else 16
     num_ops = 80 if quick else 240
+    cons_keys = 4 if quick else 6
+    cons_ops = 60 if quick else 120
 
     def partition_minority(seed: int):
         return kv_partitioned(num_keys=num_keys, num_ops=num_ops, seed=seed)
@@ -893,9 +1017,44 @@ def _chaos_schedules(quick: bool):
     def chaos_random(seed: int):
         return chaos(num_keys=num_keys, num_ops=num_ops, seed=seed)
 
-    schedules = [("kv-partitioned", partition_minority), ("delay-storm", storm)]
+    def consensus_crash(seed: int):
+        # Crash one replica mid-run (t = 1 < n/2 for replication 3): MMR
+        # consensus must keep deciding on the surviving n - t quorum, and
+        # the cell additionally checks the agreement/validity invariants.
+        spec = consensus_smoke(num_keys=cons_keys, num_ops=cons_ops, seed=seed)
+        rng_shard = seed % spec.num_shards
+        return spec.with_(
+            crash_points=(
+                CrashPoint(at_time=4.0 + seed, shard=rng_shard, replica=2),
+            )
+        )
+
+    def consensus_partition(seed: int):
+        # Isolate one replica behind a healing partition: its slots stall
+        # until the heal, the majority side keeps deciding throughout.
+        spec = consensus_smoke(num_keys=cons_keys, num_ops=cons_ops, seed=seed)
+        window = PartitionWindow.isolate(
+            ((seed % spec.replication),), spec.replication, start=3.0, heal=16.0
+        )
+        plan = FaultPlan(
+            name="consensus-partition",
+            link_policies=(PartitionSchedule(windows=(window,)),),
+        )
+        return spec.with_(fault_plan=plan)
+
+    schedules = [
+        ("kv-partitioned", partition_minority),
+        ("delay-storm", storm),
+        ("consensus-crash", consensus_crash),
+    ]
     if not quick:
-        schedules.extend([("partition-writer", partition_writer), ("chaos", chaos_random)])
+        schedules.extend(
+            [
+                ("partition-writer", partition_writer),
+                ("chaos", chaos_random),
+                ("consensus-partition", consensus_partition),
+            ]
+        )
     return schedules
 
 
@@ -935,6 +1094,9 @@ def _chaos_cell_payload(payload: tuple) -> dict:
     spec = dict(_chaos_schedules(quick))[name](seed)
     result = run_kv_workload(spec)
     report = result.check_atomicity(raise_on_violation=False)
+    # Consensus cells additionally check the protocol-level invariants
+    # (per-slot agreement, validity) straight off the replica processes.
+    consensus_violations = _consensus_invariant_violations(result.store)
     entry = {
         "schedule": name,
         "seed": seed,
@@ -953,9 +1115,11 @@ def _chaos_cell_payload(payload: tuple) -> dict:
         "messages": result.total_messages(),
         "per_sender": result.store.stats.snapshot()["per_sender"],
     }
+    if consensus_violations is not None:
+        entry["consensus_violations"] = consensus_violations
     return {
         "entry": entry,
-        "ok": report.ok and result.finished_cleanly,
+        "ok": report.ok and result.finished_cleanly and not consensus_violations,
         "signature": _run_signature(result) if want_signature else None,
     }
 
@@ -1105,6 +1269,25 @@ def cmd_explore(args: argparse.Namespace) -> int:
         return 2
     if args.algorithm in available_mutations():
         install_mutations()
+    from repro.registers.registry import get_algorithm
+
+    op_mix = None
+    if args.op_mix:
+        try:
+            op_mix = tuple(
+                (kind.strip(), float(weight))
+                for kind, _, weight in (
+                    entry.partition("=") for entry in args.op_mix.split(",") if entry.strip()
+                )
+            )
+        except ValueError as exc:
+            print(f"invalid --op-mix {args.op_mix!r}: {exc}", file=sys.stderr)
+            return 2
+    smr = get_algorithm(args.algorithm).spec == "smr"
+    if smr and op_mix is None:
+        # Consensus objects: explore the kinds whose results the SMR spec
+        # constrains, starting from an empty store so cas chains from "unset".
+        op_mix = (("read", 0.40), ("cas", 0.40), ("write", 0.20))
     try:
         config = ExploreConfig(
             strategy=args.strategy,
@@ -1116,6 +1299,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
             read_fraction=args.read_fraction,
             num_shards=args.shards,
             replication=args.replication,
+            op_mix=op_mix,
+            initial_value=None if smr else "v0",
             perturb_rate=args.perturb_rate,
             perturb_amplitude=args.perturb_amplitude,
             workers=args.workers,
@@ -1410,6 +1595,42 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=cmd_chaos)
 
     sub = subparsers.add_parser(
+        "consensus",
+        help="run a consensus-object scenario and gate on the SMR checker + invariants",
+    )
+    sub.add_argument(
+        "--scenario",
+        default="consensus_smoke",
+        choices=["consensus_smoke", "kv_cas", "kv_counter"],
+        help="which consensus scenario to run (default consensus_smoke)",
+    )
+    sub.add_argument(
+        "--keys", type=int, default=None, help="override the scenario's key count"
+    )
+    sub.add_argument(
+        "--ops", type=int, default=None, help="override the scenario's operation count"
+    )
+    sub.add_argument(
+        "--algorithm",
+        default="",
+        help="override the scenario's consensus algorithm (e.g. mmr-cas-localcoin)",
+    )
+    sub.add_argument("--seed", type=int, default=None, help="override the scenario's seed")
+    sub.add_argument(
+        "--transport",
+        choices=["sim", "live"],
+        default="sim",
+        help="simulator (default) or live asyncio loopback cluster",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for shard-parallel execution (sim only)",
+    )
+    sub.set_defaults(handler=cmd_consensus)
+
+    sub = subparsers.add_parser(
         "explore",
         help="schedule exploration: search schedules, check every run, shrink violations",
     )
@@ -1441,6 +1662,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--shards", type=int, default=2, help="number of shards (default 2)")
     sub.add_argument(
         "--replication", type=int, default=3, help="replicas per shard (default 3)"
+    )
+    sub.add_argument(
+        "--op-mix",
+        default="",
+        dest="op_mix",
+        help=(
+            "weighted operation mix, e.g. 'read=0.5,cas=0.5' (kinds: read, "
+            "write, cas, tas, incr).  Defaults to read/write via "
+            "--read-fraction; SMR algorithms default to a cas-heavy mix"
+        ),
     )
     sub.add_argument(
         "--perturb-rate",

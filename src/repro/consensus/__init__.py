@@ -1,0 +1,25 @@
+"""Consensus-backed replicated objects (MMR binary consensus + slot SMR)."""
+
+from repro.consensus.mmr import (
+    CONSENSUS_ALGORITHMS,
+    ConsAux,
+    ConsCoin,
+    ConsDecide,
+    ConsEst,
+    ConsensusObjectProcess,
+    SkipAuxConsensusProcess,
+    common_coin,
+    consensus_invariants,
+)
+
+__all__ = [
+    "CONSENSUS_ALGORITHMS",
+    "ConsAux",
+    "ConsCoin",
+    "ConsDecide",
+    "ConsEst",
+    "ConsensusObjectProcess",
+    "SkipAuxConsensusProcess",
+    "common_coin",
+    "consensus_invariants",
+]

@@ -78,9 +78,9 @@ class ExecOp:
                 f"{self.kind.value}({self.key!r}) has not completed"
                 + (f" (failed: {self.failure_reason})" if self.failed else "")
             )
-        if self.kind is OperationKind.READ:
-            return self.record.result
-        return self.value
+        if self.kind is OperationKind.WRITE:
+            return self.value
+        return self.record.result
 
     @property
     def sojourn_latency(self) -> Optional[float]:
@@ -177,9 +177,15 @@ class Driver:
                     record = process.invoke_write(
                         op.value, lambda record, p=process: self._on_complete(p, record)
                     )
-                else:
+                elif op.kind is OperationKind.READ:
                     record = process.invoke_read(
                         lambda record, p=process: self._on_complete(p, record)
+                    )
+                else:
+                    record = process.invoke_operation(
+                        op.kind,
+                        op.value,
+                        lambda record, p=process: self._on_complete(p, record),
                     )
             except ProcessCrashedError:
                 queue.popleft()

@@ -51,7 +51,8 @@ from collections.abc import Sequence
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.registers.base import OperationKind, OperationRecord
-from repro.verification.columnar import ColumnarHistory, ValueInterner
+from repro.verification.columnar import KIND_TO_BYTE, ColumnarHistory, ValueInterner
+from repro.verification.history import OpKind
 
 _NAN = float("nan")
 
@@ -149,12 +150,15 @@ class OpLog:
         )
         history = ColumnarHistory(initial_value=initial_value)
         history._table = table
-        read_slot = self._kind_slot[OperationKind.READ]
+        # Per-slot kind byte (read/write keep their historical bytes; the
+        # consensus kinds map to their own collision-free bytes).
+        slot_byte = [
+            KIND_TO_BYTE[OpKind(kind.value)] for kind in self.kinds
+        ]
         for op_id, row in enumerate(rows):
-            is_read = self._kind[row] == read_slot
             result_idx = self._result_idx[row]
             history._pid.append(self._pid[row])
-            history._kind.append(ord("r") if is_read else ord("w"))
+            history._kind.append(slot_byte[self._kind[row]])
             history._invoked.append(self._invoked[row])
             history._responded.append(self._responded[row])
             history._value_idx.append(self._value_idx[row])
@@ -396,10 +400,10 @@ class LoggedOp:
                 f"{self.kind.value}({self.key!r}) has not completed"
                 + (f" (failed: {self.failure_reason})" if self.failed else "")
             )
-        if self.kind is OperationKind.READ:
-            idx = self._log._result_idx[self._row]
-            return None if idx < 0 else self._log.interner.values[idx]
-        return self.value
+        if self.kind is OperationKind.WRITE:
+            return self.value
+        idx = self._log._result_idx[self._row]
+        return None if idx < 0 else self._log.interner.values[idx]
 
     @property
     def sojourn_latency(self) -> Optional[float]:

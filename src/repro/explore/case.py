@@ -31,29 +31,41 @@ from repro.verification.linearizability import PartitionedCheckReport
 CASE_FORMAT_VERSION = 1
 
 
+#: Case op kinds and how their ``value`` field serializes.  Registers use
+#: read/write; the consensus-backed store objects add cas (value is the
+#: ``(expected, new)`` pair — a JSON array on the wire), tas (no value) and
+#: incr (integer addend).
+CASE_OP_KINDS = ("read", "write", "cas", "tas", "incr")
+_VALUED_KINDS = ("write", "cas", "incr")
+
+
 @dataclass(frozen=True)
 class CaseOp:
     """One scripted store operation.
 
-    ``at`` (arrival time) and ``replica`` (read routing pin) are ``None``
-    while a strategy explores — arrivals derive from the case's
-    ``arrival_gap`` and reads round-robin like production traffic.  The
-    explorer *materializes* both from the violating execution before
-    shrinking (see ``materialize_schedule``), so removing one operation no
-    longer shifts every later operation's arrival time or routing — the
-    property that lets delta debugging converge to a minimal reproducer.
+    ``at`` (arrival time) and ``replica`` (routing pin) are ``None`` while a
+    strategy explores — arrivals derive from the case's ``arrival_gap`` and
+    non-write operations round-robin like production traffic.  The explorer
+    *materializes* both from the violating execution before shrinking (see
+    ``materialize_schedule``), so removing one operation no longer shifts
+    every later operation's arrival time or routing — the property that lets
+    delta debugging converge to a minimal reproducer.
     """
 
-    kind: str  # "read" | "write"
+    kind: str  # one of CASE_OP_KINDS
     key: str
-    value: Optional[str] = None
+    #: ``write`` -> str, ``cas`` -> (expected, new) tuple, ``incr`` -> int,
+    #: ``read``/``tas`` -> None.
+    value: Any = None
     at: Optional[float] = None
     replica: Optional[int] = None
 
     def to_dict(self) -> dict:
         payload: dict = {"kind": self.kind, "key": self.key}
-        if self.kind == "write":
-            payload["value"] = self.value
+        if self.kind in _VALUED_KINDS:
+            # A cas value is a tuple; JSON renders it as an array and
+            # from_dict restores the tuple (the SMR spec unpacks positionally).
+            payload["value"] = list(self.value) if self.kind == "cas" else self.value
         if self.at is not None:
             payload["at"] = self.at
         if self.replica is not None:
@@ -63,12 +75,18 @@ class CaseOp:
     @classmethod
     def from_dict(cls, payload: dict) -> "CaseOp":
         kind = payload["kind"]
-        if kind not in ("read", "write"):
+        if kind not in CASE_OP_KINDS:
             raise ValueError(f"unknown case op kind {kind!r}")
+        value = payload.get("value") if kind in _VALUED_KINDS else None
+        if kind == "cas":
+            expected, new = value
+            value = (expected, new)
+        elif kind == "incr":
+            value = int(value)
         return cls(
             kind=kind,
             key=payload["key"],
-            value=payload.get("value") if kind == "write" else None,
+            value=value,
             at=payload.get("at"),
             replica=payload.get("replica"),
         )
@@ -107,7 +125,9 @@ class ExploreCase:
     crash_points: Tuple[Dict[str, Any], ...] = ()
     #: At most one healing partition window: ``{"replicas": [...], "start": t, "heal": t}``.
     partition: Optional[Dict[str, Any]] = None
-    initial_value: str = "v0"
+    #: ``None`` means the store starts empty (consensus-object cases: the
+    #: first cas of a key then expects "unset").
+    initial_value: Optional[str] = "v0"
 
     def with_(self, **changes: object) -> "ExploreCase":
         """Copy with fields replaced (sugar over :func:`dataclasses.replace`)."""
@@ -251,9 +271,11 @@ def run_case(
             (
                 op.at if op.at is not None else index * case.arrival_gap,
                 OpRequest(
-                    kind=OperationKind.WRITE if op.kind == "write" else OperationKind.READ,
+                    kind=OperationKind(op.kind),
                     key=op.key,
-                    replica=op.replica if op.kind == "read" else None,
+                    # Writes always route to the writer replica; every other
+                    # kind honours a pinned replica from materialization.
+                    replica=op.replica if op.kind != "write" else None,
                 ),
                 op.value,
             )
@@ -271,8 +293,15 @@ def run_case(
             for scripted in case.ops[begin : begin + case.batch_size]:
                 if scripted.kind == "write":
                     store.submit_put(scripted.key, scripted.value)
-                else:
+                elif scripted.kind == "read":
                     store.submit_get(scripted.key, replica=scripted.replica)
+                else:
+                    store.submit_op(
+                        OperationKind(scripted.kind),
+                        scripted.key,
+                        scripted.value,
+                        replica=scripted.replica,
+                    )
             finished = store.drive() and finished
     report = store.check_linearizability(
         swmr_fast_path=False, max_states=check_max_states
@@ -313,7 +342,9 @@ def materialize_schedule(case: ExploreCase, outcome: CaseOutcome) -> ExploreCase
             # by ulps and could lose the violation before shrinking starts.
             at = index * case.arrival_gap
         replica = scripted.replica
-        if scripted.kind == "read" and replica is None and executed.record is not None:
+        # Writes always route to the writer; every round-robined kind (reads
+        # and the consensus-object operations) gets its replica pinned.
+        if scripted.kind != "write" and replica is None and executed.record is not None:
             replica = executed.record.pid
         pinned.append(replace(scripted, at=at, replica=replica))
     return case.with_(ops=tuple(pinned))

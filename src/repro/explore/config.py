@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,14 @@ class ExploreConfig:
     num_shards: int = 2
     replication: int = 3
     batch_size: int = 8
+    #: Weighted operation mix (see :class:`~repro.workloads.kv.KVWorkloadSpec`).
+    #: ``None`` keeps the classic read/write split driven by
+    #: ``read_fraction``; consensus-object explorations pass e.g.
+    #: ``(("read", .5), ("cas", .5))`` to script cas/tas/incr operations.
+    op_mix: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: Initial value of every key (``None`` = store starts empty, the
+    #: natural choice for cas chains that begin from "unset").
+    initial_value: Optional[str] = "v0"
     #: One operation arrives every ``arrival_gap`` virtual-time units
     #: (open-loop): operations overlap across replicas *and* acquire
     #: real-time ordering, the combination atomicity bugs need.  ``0``

@@ -22,6 +22,15 @@ small deterministic counterexample, and replay it from the artifact.
     already completed — a **stale read after an acknowledged write**
     (Claim 2 of Lemma 10).
 
+``mmr-cas-skip-aux``
+    MMR binary consensus without the AUX quorum: each replica decides the
+    first estimate its bin_values delivers, skipping the round of AUX
+    exchange (and the common-coin agreement it feeds).  Two replicas whose
+    EST messages arrive in different orders decide **different values for
+    the same slot** — an agreement violation that surfaces to the checker
+    as a non-linearizable cas/read history (diverged replica state
+    machines).
+
 The mutants are *not* in the default algorithm registry: call
 :func:`install_mutations` (idempotent) to register them, which is what
 ``repro explore --mutate <name>`` and the tests do.  They must never be
@@ -33,6 +42,7 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Any, Callable, Dict
 
+from repro.consensus.mmr import SkipAuxConsensusProcess
 from repro.quorum.aggregators import MaxReply
 from repro.registers.abd import AbdReadQuery, AbdRegisterProcess, AbdWrite
 from repro.registers.base import OperationRecord, RegisterAlgorithm
@@ -93,6 +103,16 @@ MUTATIONS: Dict[str, RegisterAlgorithm] = {
         process_factory=AbdSloppyWriteProcess,
         supports_multi_writer=False,
         bounded_control_bits=False,
+    ),
+    "mmr-cas-skip-aux": RegisterAlgorithm(
+        name="mmr-cas-skip-aux",
+        description=(
+            "FAULTY (explorer mutation test): MMR consensus decides without the AUX quorum"
+        ),
+        process_factory=SkipAuxConsensusProcess,
+        supports_multi_writer=True,
+        bounded_control_bits=False,
+        spec="smr",
     ),
 }
 

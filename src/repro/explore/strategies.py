@@ -29,7 +29,6 @@ from typing import Dict, Iterator, Optional, Tuple, Type
 from repro.explore.case import CaseOp, ExploreCase
 from repro.explore.config import ExploreConfig
 from repro.explore.perturb import RecordingPerturbation
-from repro.registers.base import OperationKind
 from repro.sim.rng import make_rng
 from repro.workloads.kv import KVWorkloadSpec, generate_kv_operations
 
@@ -44,18 +43,16 @@ def _script_for(config: ExploreConfig, case_seed: int) -> Tuple[CaseOp, ...]:
         num_keys=config.num_keys,
         num_ops=config.num_ops,
         read_fraction=config.read_fraction,
+        op_mix=config.op_mix,
         distribution="uniform",
         algorithm="abd",  # placeholder: generation never consults the registry
         num_shards=config.num_shards,
         replication=config.replication,
+        initial_value=config.initial_value,
         seed=case_seed,
     )
     return tuple(
-        CaseOp(
-            kind="write" if op.kind is OperationKind.WRITE else "read",
-            key=op.key,
-            value=op.value,
-        )
+        CaseOp(kind=op.kind.value, key=op.key, value=op.value)
         for op in generate_kv_operations(spec)
     )
 
@@ -108,6 +105,7 @@ class RandomWalkStrategy(ScheduleStrategy):
                 arrival_gap=config.arrival_gap,
                 delay=_delay_for(config, case_seed),
                 ops=_script_for(config, case_seed),
+                initial_value=config.initial_value,
             )
             yield case, _recorder_for(config, perturb_seed)
 
@@ -142,6 +140,7 @@ class CrashPointSweepStrategy(ScheduleStrategy):
                 arrival_gap=config.arrival_gap,
                 delay=_delay_for(config, case_seed),
                 ops=_script_for(config, case_seed),
+                initial_value=config.initial_value,
                 crash_points=(crash,),
             )
             yield case, _recorder_for(config, perturb_seed)
@@ -176,6 +175,7 @@ class PartitionBoundarySweepStrategy(ScheduleStrategy):
                 arrival_gap=config.arrival_gap,
                 delay=_delay_for(config, case_seed),
                 ops=_script_for(config, case_seed),
+                initial_value=config.initial_value,
                 partition=partition,
             )
             yield case, _recorder_for(config, perturb_seed)

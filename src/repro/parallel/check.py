@@ -22,13 +22,17 @@ from repro.parallel.pool import run_chunked
 from repro.verification.history import History
 
 
-def _check_one(payload: Tuple[Any, History, bool, Optional[int]]):
+def _check_one(payload: Tuple[Any, History, bool, Optional[int], Optional[str]]):
     """Check a single key's history (runs inside a pool worker)."""
     from repro.verification.linearizability import check_histories_per_key
 
-    key, history, swmr_fast_path, max_states = payload
+    key, history, swmr_fast_path, max_states, spec = payload
     report = check_histories_per_key(
-        {key: history}, swmr_fast_path=swmr_fast_path, max_states=max_states, workers=1
+        {key: history},
+        swmr_fast_path=swmr_fast_path,
+        max_states=max_states,
+        workers=1,
+        spec=spec,
     )
     result = report.per_key[key]
     result.witness = None  # never picklable, never requested on this path
@@ -40,18 +44,20 @@ def check_histories_parallel(
     swmr_fast_path: bool = True,
     max_states: Optional[int] = None,
     workers: int = 2,
+    spec: Optional[str] = None,
 ):
     """Check every key's history across ``workers`` processes.
 
     Returns the same ``PartitionedCheckReport`` the serial
     :func:`~repro.verification.linearizability.check_histories_per_key`
-    builds, with per-key entries in the input mapping's order.
+    builds, with per-key entries in the input mapping's order.  ``spec``
+    is the sequential-spec *name* (specs ship to workers as strings).
     """
     from repro.verification.linearizability import PartitionedCheckReport
 
     keys = list(histories)
-    payloads: List[Tuple[Any, History, bool, Optional[int]]] = [
-        (key, histories[key], swmr_fast_path, max_states) for key in keys
+    payloads: List[Tuple[Any, History, bool, Optional[int], Optional[str]]] = [
+        (key, histories[key], swmr_fast_path, max_states, spec) for key in keys
     ]
     results = run_chunked(_check_one, payloads, workers)
     report = PartitionedCheckReport()

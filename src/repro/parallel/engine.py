@@ -148,8 +148,10 @@ def _run_group(conn: Any, spec, group_index: int, n_groups: int) -> Dict[str, An
                     continue
                 if scripted.kind is OperationKind.WRITE:
                     op = store.submit_put(scripted.key, scripted.value)
-                else:
+                elif scripted.kind is OperationKind.READ:
                     op = store.submit_get(scripted.key)
+                else:
+                    op = store.submit_op(scripted.kind, scripted.key, scripted.value)
                 tracked.append((scripted.index, op))
             drove_to_completion = store.drive()
             stuck = not drove_to_completion and store.simulator.pending_events == 0

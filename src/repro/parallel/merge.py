@@ -252,10 +252,23 @@ class MergedStore:
         return self.oplog.per_key_histories(initial_value=self.config.initial_value)
 
     def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
-        """Check every key's history with the fast per-key SWMR checker."""
+        """Check every key's history with the fast per-key SWMR checker.
+
+        Consensus-object stores route to the Wing–Gong search against the
+        SMR spec, exactly like :meth:`KVStore.check_atomicity`.
+        """
         report = StoreAtomicityReport()
-        for key, history in self.histories().items():
-            report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
+        if self.config.effective_spec() == "smr":
+            checked = self.check_linearizability(swmr_fast_path=False)
+            for key, result in checked.per_key.items():
+                if not result.linearizable and not result.violations:
+                    result.violations.append(
+                        "history is not linearizable against the SMR spec"
+                    )
+                report.per_key[key] = result
+        else:
+            for key, history in self.histories().items():
+                report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
         if raise_on_violation and not report.ok:
             violations = report.violations()
             raise AtomicityViolation(
@@ -278,4 +291,5 @@ class MergedStore:
             swmr_fast_path=swmr_fast_path,
             max_states=max_states,
             workers=workers,
+            spec=self.config.effective_spec(),
         )

@@ -36,10 +36,20 @@ __all__ = [
 
 
 class OperationKind(str, Enum):
-    """Kind of register operation."""
+    """Kind of operation against a replicated object.
+
+    ``READ``/``WRITE`` are the register kinds every algorithm supports;
+    ``CAS``/``TAS``/``INCR`` are the consensus-backed object kinds added by
+    :mod:`repro.consensus` (compare-and-swap, test-and-set, counter
+    increment).  Register algorithms reject the consensus kinds at
+    invocation time.
+    """
 
     READ = "read"
     WRITE = "write"
+    CAS = "cas"
+    TAS = "tas"
+    INCR = "incr"
 
 
 @dataclass
@@ -147,6 +157,27 @@ class RegisterProcess(ProcessBase):
         self._start_read(record, lambda result: self._complete(record, result, callback))
         return record
 
+    def invoke_operation(
+        self,
+        kind: OperationKind,
+        value: Any,
+        callback: Callable[[OperationRecord], None],
+    ) -> OperationRecord:
+        """Start a non-register operation (CAS/TAS/INCR on consensus objects).
+
+        ``value`` carries the operation argument — the ``(expected, new)``
+        pair for CAS, ignored for TAS, the addend for INCR.  Plain register
+        algorithms do not override :meth:`_start_operation` and therefore
+        reject these kinds.
+        """
+        self.require_alive(kind.value)
+        record = self._new_operation(kind, value)
+        self._current_op = record
+        self._start_operation(
+            record, lambda result=None: self._complete(record, result, callback)
+        )
+        return record
+
     def _check_write_permission(self) -> None:
         if not self.is_writer:
             raise PermissionError(
@@ -206,6 +237,12 @@ class RegisterProcess(ProcessBase):
     def _start_read(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
         """Protocol-specific read implementation.  ``done(value)`` signals completion."""
         raise NotImplementedError
+
+    def _start_operation(self, record: OperationRecord, done: Callable[[Any], None]) -> None:
+        """Non-register operation hook (consensus objects override this)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support {record.kind.value} operations"
+        )
 
 
 class RegisterHandle:
@@ -286,6 +323,11 @@ class RegisterAlgorithm:
     process_factory: Callable[..., RegisterProcess]
     supports_multi_writer: bool = False
     bounded_control_bits: bool = False
+    #: Sequential specification the checker verifies histories against:
+    #: ``"register"`` (atomic read/write, the default) or ``"smr"`` (the
+    #: state-machine spec covering read/write/cas/tas/incr — used by the
+    #: consensus-backed object algorithms in :mod:`repro.consensus`).
+    spec: str = "register"
 
     def build(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.consensus.mmr import CONSENSUS_ALGORITHMS
 from repro.core.register import TWO_BIT_ALGORITHM
 from repro.registers.abd import ABD_ALGORITHM
 from repro.registers.abd_mwmr import ABD_MWMR_ALGORITHM
@@ -22,6 +23,9 @@ _REGISTRY: Dict[str, RegisterAlgorithm] = {
     ABD_MWMR_ALGORITHM.name: ABD_MWMR_ALGORITHM,
     MODULO_ABD_ALGORITHM.name: MODULO_ABD_ALGORITHM,
 }
+for _consensus_algorithm in CONSENSUS_ALGORITHMS:
+    _REGISTRY[_consensus_algorithm.name] = _consensus_algorithm
+del _consensus_algorithm
 
 
 def available_algorithms() -> list[str]:

@@ -151,6 +151,23 @@ class StoreConfig:
             return self.algorithm
         return self.shard_algorithms[shard]
 
+    def effective_spec(self) -> str:
+        """The sequential spec this store's histories are checked against.
+
+        ``"register"`` for read/write register algorithms, ``"smr"`` for the
+        consensus-backed object algorithms.  Mixing the two in one store is
+        rejected: per-key verdicts would need per-key specs and no scenario
+        wants that geometry.
+        """
+        names = set(self.shard_algorithms) if self.shard_algorithms else {self.algorithm}
+        specs = {get_algorithm(name).spec for name in names}
+        if len(specs) > 1:
+            raise ValueError(
+                f"store mixes algorithms with different sequential specs {sorted(specs)}; "
+                "deploy register and consensus-object algorithms in separate stores"
+            )
+        return specs.pop()
+
     def shard_map(self) -> ShardMap:
         """The (validated) placement this config describes."""
         return ShardMap(
@@ -355,6 +372,26 @@ class KVStore:
         self.driver.submit(process, op)
         return op
 
+    def submit_op(
+        self, kind: OperationKind, key: Any, value: Any = None, replica: Optional[int] = None
+    ) -> StoreOp:
+        """Enqueue an operation of any kind; complete it via :meth:`drive`.
+
+        ``WRITE`` routes to the key's writer replica, everything else
+        round-robins over live replicas (or honours a pinned ``replica``) —
+        consensus-object kinds (``cas``, ``tas``, ``incr``) spread over
+        replicas exactly like reads, which is what makes the store
+        multi-writer under consensus algorithms.
+        """
+        if kind is OperationKind.WRITE:
+            return self.submit_put(key, value)
+        if kind is OperationKind.READ:
+            return self.submit_get(key, replica=replica)
+        process = self.target.route(OpRequest(kind=kind, key=key, replica=replica))
+        op = self.driver.new_op(kind, value=value, key=key)
+        self.driver.submit(process, op)
+        return op
+
     def pick_reader(self, deployment: KeyRegister) -> RegisterProcess:
         """Round-robin over the deployment's live replicas (used by routing)."""
         replication = self.config.replication
@@ -408,6 +445,25 @@ class KVStore:
         if op.failed:
             raise RuntimeError(f"get({key!r}) failed: {op.failure_reason}")
         return op.result
+
+    def _blocking_op(self, kind: OperationKind, key: Any, value: Any = None) -> Any:
+        op = self.submit_op(kind, key, value)
+        self.drive()
+        if op.failed:
+            raise RuntimeError(f"{kind.value}({key!r}) failed: {op.failure_reason}")
+        return op.result
+
+    def cas(self, key: Any, expected: Any, new: Any) -> bool:
+        """Blocking compare-and-swap; True iff the swap took effect."""
+        return self._blocking_op(OperationKind.CAS, key, (expected, new))
+
+    def tas(self, key: Any) -> Any:
+        """Blocking test-and-set: sets the key to ``True``, returns the old value."""
+        return self._blocking_op(OperationKind.TAS, key)
+
+    def incr(self, key: Any, amount: int = 1) -> int:
+        """Blocking counter increment; returns the post-increment value."""
+        return self._blocking_op(OperationKind.INCR, key, amount)
 
     def settle(self) -> None:
         """Drain residual dissemination (forwarded messages, late acks)."""
@@ -559,10 +615,25 @@ class KVStore:
         return self.driver.oplog.history_for(key, initial_value=self.config.initial_value)
 
     def check_atomicity(self, raise_on_violation: bool = True) -> StoreAtomicityReport:
-        """Check every key's history with the fast per-key SWMR checker."""
+        """Check every key's history with the fast per-key SWMR checker.
+
+        Consensus-object stores (``spec == "smr"``) have no single writer,
+        so the SWMR claims checker does not apply; their per-key verdicts
+        come from the Wing–Gong search against the SMR spec instead — the
+        report shape (``ok`` / ``violations()``) is the same either way.
+        """
         report = StoreAtomicityReport()
-        for key, history in self.histories().items():
-            report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
+        if self.config.effective_spec() == "smr":
+            checked = self.check_linearizability(swmr_fast_path=False)
+            for key, result in checked.per_key.items():
+                if not result.linearizable and not result.violations:
+                    result.violations.append(
+                        "history is not linearizable against the SMR spec"
+                    )
+                report.per_key[key] = result
+        else:
+            for key, history in self.histories().items():
+                report.per_key[key] = check_swmr_atomicity(history, raise_on_violation=False)
         if raise_on_violation and not report.ok:
             violations = report.violations()
             raise AtomicityViolation(
@@ -596,6 +667,8 @@ class KVStore:
         ``swmr_fast_path=False`` forces the Wing–Gong search on every key
         (what the schedule explorer and the checker benchmark use).
         ``workers > 1`` checks keys on a process pool (:mod:`repro.parallel`).
+        Consensus-object stores are checked against the SMR spec
+        (:meth:`StoreConfig.effective_spec`).
         """
         from repro.verification.linearizability import check_histories_per_key
 
@@ -604,6 +677,7 @@ class KVStore:
             swmr_fast_path=swmr_fast_path,
             max_states=max_states,
             workers=workers,
+            spec=self.config.effective_spec(),
         )
 
 

@@ -112,6 +112,19 @@ def _register_builtin_messages() -> None:
     register_message_type(abd_mwmr.MwAbdTsReply, {"ts": _ts})
     register_message_type(abd_mwmr.MwAbdWrite, {"ts": _ts})
     register_message_type(abd_mwmr.MwAbdWriteAck)
+    # Consensus messages (repro.consensus).  The ``cand`` command payload is
+    # deliberately a plain JSON-safe list — the binary codec's value encoding
+    # does not run field decoders, so any richer type would round-trip
+    # differently between the sim and the live wire.
+    from repro.consensus import mmr as consensus_messages
+
+    for cls in (
+        consensus_messages.ConsEst,
+        consensus_messages.ConsAux,
+        consensus_messages.ConsCoin,
+        consensus_messages.ConsDecide,
+    ):
+        register_message_type(cls)
     register_message_type(abd_mwmr.MwAbdReadQuery)
     register_message_type(abd_mwmr.MwAbdReadReply, {"ts": _ts})
     register_message_type(abd_mwmr.MwAbdWriteBack, {"ts": _ts})

@@ -315,7 +315,13 @@ def _decode_message_binary(buf: bytes, pos: int) -> Tuple[Any, int]:
 
 _E_JSON, _E_MSG, _E_INVOKE, _E_RESULT = range(4)
 
-_OP_READ, _OP_WRITE = 0, 1
+#: One byte per operation kind in invoke frames.  Table, not a pair of
+#: constants: the consensus-object kinds (cas/tas/incr) ride the same
+#: envelope, and an unknown kind must fail loudly instead of silently
+#: decoding as a read.
+_OP_BYTES = {"read": 0, "write": 1, "cas": 2, "tas": 3, "incr": 4}
+_OP_NAMES = {byte: name for name, byte in _OP_BYTES.items()}
+_OP_READ, _OP_WRITE = _OP_BYTES["read"], _OP_BYTES["write"]
 
 
 class WireCodec:
@@ -377,7 +383,10 @@ class BinaryWireCodec(WireCodec):
         elif kind == "invoke":
             buf.append(_E_INVOKE)
             write_varint(buf, payload["op_id"])
-            buf.append(_OP_WRITE if payload["op"] == "write" else _OP_READ)
+            try:
+                buf.append(_OP_BYTES[payload["op"]])
+            except KeyError:
+                raise CodecError(f"unknown invoke op {payload['op']!r}") from None
             _write_value(buf, payload["key"])
             _write_value(buf, payload.get("value"))
             return bytes(buf)
@@ -414,7 +423,10 @@ class BinaryWireCodec(WireCodec):
                 return {"kind": "result", "op_id": op_id, "ok": False, "error": value}
             if envelope == _E_INVOKE:
                 op_id, pos = _read_varint_at(buf, 1)
-                op = "write" if buf[pos] == _OP_WRITE else "read"
+                try:
+                    op = _OP_NAMES[buf[pos]]
+                except KeyError:
+                    raise CodecError(f"unknown invoke op byte {buf[pos]}") from None
                 key, pos = _read_value_at(buf, pos + 1)
                 value, _pos = _read_value_at(buf, pos)
                 return {"kind": "invoke", "op_id": op_id, "op": op, "key": key, "value": value}

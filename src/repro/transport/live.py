@@ -501,8 +501,13 @@ class _ReplicaServer:
             try:
                 if op == "write":
                     process.invoke_write(value, finish)
-                else:
+                elif op == "read":
                     process.invoke_read(finish)
+                else:
+                    # Consensus-object kinds (cas/tas/incr).  JSON decoding
+                    # turns tuple arguments into lists; the SMR objects
+                    # unpack positionally, so the shapes agree.
+                    process.invoke_operation(OperationKind(op), value, finish)
             except Exception as exc:  # wrong-writer routing, crashed process, ...
                 reply_conn.send(
                     {"kind": "result", "op_id": op_id, "ok": False, "error": str(exc)}
@@ -705,7 +710,10 @@ class LiveKVResult:
         from repro.verification.linearizability import check_histories_per_key
 
         return check_histories_per_key(
-            self.histories(), swmr_fast_path=swmr_fast_path, max_states=max_states
+            self.histories(),
+            swmr_fast_path=swmr_fast_path,
+            max_states=max_states,
+            spec=self.spec.store_config().effective_spec(),
         )
 
     def wall_throughput(self) -> float:
@@ -963,7 +971,7 @@ async def _run_live_async(
                 {
                     "kind": "invoke",
                     "op_id": op_id,
-                    "op": "write" if kind is OperationKind.WRITE else "read",
+                    "op": kind.value,
                     "key": key,
                     "value": value,
                 }

@@ -52,6 +52,18 @@ _READ = ord("r")
 _WRITE = ord("w")
 _NAN = float("nan")
 
+#: Kind <-> column byte.  Read/write keep their historical bytes (golden
+#: histories and the wire protocol depend on them); the consensus-object
+#: kinds get distinct, collision-free bytes.
+KIND_TO_BYTE: Dict[OpKind, int] = {
+    OpKind.READ: _READ,
+    OpKind.WRITE: _WRITE,
+    OpKind.CAS: ord("c"),
+    OpKind.TAS: ord("t"),
+    OpKind.INCR: ord("i"),
+}
+BYTE_TO_KIND: Dict[int, OpKind] = {byte: kind for kind, byte in KIND_TO_BYTE.items()}
+
 
 class ValueInterner:
     """A deduplicating value table: store each distinct value once.
@@ -139,7 +151,7 @@ class OpView:
 
     @property
     def kind(self) -> OpKind:
-        return OpKind.READ if self._h._kind[self._i] == _READ else OpKind.WRITE
+        return BYTE_TO_KIND[self._h._kind[self._i]]
 
     @property
     def value(self) -> Any:
@@ -401,7 +413,7 @@ class ColumnarHistory:
         for op in operations:
             history._append_row(
                 op.pid,
-                _READ if op.kind is OpKind.READ else _WRITE,
+                KIND_TO_BYTE[op.kind],
                 interner.intern(op.value),
                 interner.intern(op.result),
                 op.invoked_at,
@@ -430,7 +442,7 @@ class ColumnarHistory:
         for index, record in enumerate(ordered):
             history._append_row(
                 record.pid,
-                _WRITE if record.kind is OperationKind.WRITE else _READ,
+                KIND_TO_BYTE[OpKind(record.kind.value)],
                 interner.intern(record.value),
                 interner.intern(record.result),
                 record.invoked_at,
@@ -463,7 +475,7 @@ class ColumnarHistory:
         for entry in payload["operations"]:
             history._append_row(
                 entry["pid"],
-                _READ if OpKind(entry["kind"]) is OpKind.READ else _WRITE,
+                KIND_TO_BYTE[OpKind(entry["kind"])],
                 interner.intern(entry.get("value")),
                 interner.intern(entry.get("result")),
                 entry["invoked_at"],

@@ -36,6 +36,9 @@ class OpKind(str, Enum):
 
     READ = "read"
     WRITE = "write"
+    CAS = "cas"
+    TAS = "tas"
+    INCR = "incr"
 
 
 @dataclass(frozen=True)
@@ -154,7 +157,7 @@ class History:
         """Build a history from the runner's per-operation records."""
         operations = []
         for index, record in enumerate(sorted(records, key=lambda r: (r.invoked_at, r.pid, r.op_id))):
-            kind = OpKind.WRITE if record.kind is OperationKind.WRITE else OpKind.READ
+            kind = OpKind(record.kind.value)
             operations.append(
                 Operation(
                     pid=record.pid,

@@ -91,11 +91,27 @@ def _hashable(value: Any) -> Any:
         return repr(value)
 
 
-def _relevant_operations(history: History) -> tuple[list[Operation], list[Operation]]:
-    """(completed operations, pending writes) — what the definition constrains."""
+def _relevant_operations(
+    history: History, spec: Any = None
+) -> tuple[list[Operation], list[Operation]]:
+    """(completed operations, optional pending ops) — what the definition constrains.
+
+    Pending *pure* operations (reads under both specs) impose no constraint
+    and are ignored; pending state-changing operations may or may not have
+    taken effect, so they enter the search as optional.
+    """
     completed = [op for op in history.operations if not op.pending]
-    pending_writes = [op for op in history.operations if op.pending and op.is_write]
-    return completed, pending_writes
+    if spec is None:
+        pending_effectful = [
+            op for op in history.operations if op.pending and op.is_write
+        ]
+    else:
+        pending_effectful = [
+            op
+            for op in history.operations
+            if op.pending and not spec.is_pure(op.kind)
+        ]
+    return completed, pending_effectful
 
 
 def _precedes(a: Operation, b: Operation) -> bool:
@@ -150,6 +166,11 @@ class CheckResult:
     #: the claims fast path; the search core reports the verdict only).
     violations: List[str] = field(default_factory=list)
 
+    @property
+    def ok(self) -> bool:
+        """Alias of ``linearizable`` (report-shape parity with atomicity results)."""
+        return self.linearizable
+
 
 _INFINITY = float("inf")
 
@@ -158,16 +179,25 @@ def check_linearizability(
     history: History,
     collect_witness: bool = True,
     max_states: Optional[int] = None,
+    spec: Any = None,
 ) -> CheckResult:
-    """Check ``history`` against the sequential register specification.
+    """Check ``history`` against a sequential specification.
 
     The single search core behind :func:`is_linearizable` and
     :func:`find_linearization`.  ``max_states`` bounds the number of
     distinct memoized states explored (``None`` = unlimited); exceeding it
     raises :class:`LinearizabilityBudgetExceeded` rather than returning a
     wrong verdict.
+
+    ``spec`` selects the sequential object: ``None`` (the default) is the
+    hand-tuned atomic read/write register path, unchanged; a
+    :class:`~repro.verification.specs.SequentialSpec` instance generalizes
+    the same search to arbitrary deterministic state machines — every
+    *completed* operation's recorded result must match the spec's result at
+    its linearization point, pure operations are consumed greedily, and
+    pending state-changing operations stay optional.
     """
-    completed, pending_writes = _relevant_operations(history)
+    completed, pending_writes = _relevant_operations(history, spec)
     ops: List[Operation] = completed + pending_writes
     count = len(ops)
     if count == 0:
@@ -181,13 +211,19 @@ def check_linearizability(
     # Index order: by invocation time (ties by op_id) — the order the
     # invocation frontier list walks candidates in.
     ops.sort(key=lambda op: (op.invoked_at, op.op_id))
-    optional = [op.pending for op in ops]  # pending writes may be dropped
-    is_read = [op.is_read for op in ops]
+    optional = [op.pending for op in ops]  # pending effectful ops may be dropped
+    if spec is None:
+        is_pure = [op.is_read for op in ops]
+    else:
+        is_pure = [spec.is_pure(op.kind) for op in ops]
     invoked = [op.invoked_at for op in ops]
     resp_time = [
         op.responded_at if op.responded_at is not None else _INFINITY for op in ops
     ]
     hval = [_hashable(op.result if op.is_read else op.value) for op in ops]
+    kind_of = [op.kind for op in ops]
+    value_of = [op.value for op in ops]
+    result_of = [op.result for op in ops]
 
     # --- dancing-links frontiers ------------------------------------------
     # Invocation list: indices 0..count-1 already sorted; sentinel = count.
@@ -257,7 +293,10 @@ def check_linearizability(
     # --- search state ------------------------------------------------------
     remaining_mask = (1 << count) - 1
     bit = [1 << i for i in range(count)]
-    current = _hashable(history.initial_value)
+    if spec is None:
+        current = _hashable(history.initial_value)
+    else:
+        current = history.initial_value  # raw state: the spec applies to it
     order: List[int] = []  # linearized indices, in order (witness material)
     visited: set = set()
     states_explored = 0
@@ -275,14 +314,21 @@ def check_linearizability(
         return found
 
     def consume_greedy_reads() -> int:
-        """Linearize every minimal read matching the current value; returns how many."""
+        """Linearize every minimal pure op matching the current state; returns how many."""
         nonlocal remaining_mask
         consumed = 0
         progress = True
         while progress:
             progress = False
             for i in candidates():
-                if is_read[i] and hval[i] == current:
+                if spec is None:
+                    matches = is_pure[i] and hval[i] == current
+                else:
+                    matches = (
+                        is_pure[i]
+                        and result_of[i] == spec.apply(current, kind_of[i], value_of[i])[0]
+                    )
+                if matches:
                     unlink(i)
                     remaining_mask &= ~bit[i]
                     order.append(i)
@@ -321,7 +367,7 @@ def check_linearizability(
             # Terminal state: no frame needed — the search stops here and
             # the witness is read straight from ``order``.
             return SOLVED
-        key = (remaining_mask, current)
+        key = (remaining_mask, current if spec is None else _hashable(current))
         if key in visited:
             undo_greedy(greedy)
             return PRUNED
@@ -335,7 +381,7 @@ def check_linearizability(
         choices: List[Tuple[int, bool]] = []
         minimal = candidates()
         for i in minimal:
-            if not is_read[i]:
+            if not is_pure[i]:
                 choices.append((i, False))
         for i in minimal:
             if optional[i]:
@@ -364,8 +410,19 @@ def check_linearizability(
         unlink(i)
         remaining_mask &= ~bit[i]
         if not dropped:
+            if spec is None:
+                current = hval[i]  # always a write: reads were consumed greedily
+            else:
+                result, next_state = spec.apply(current, kind_of[i], value_of[i])
+                if resp_time[i] != _INFINITY and not (result_of[i] == result):
+                    # A completed operation whose recorded result contradicts
+                    # the spec at this point cannot linearize here: undo and
+                    # move on to the frame's next choice.
+                    relink(i)
+                    remaining_mask |= bit[i]
+                    continue
+                current = next_state
             order.append(i)
-            current = hval[i]  # always a write: reads were consumed greedily
         frame.applied = (i, dropped, previous_value)
         solved = enter_state() == SOLVED
 
@@ -378,7 +435,7 @@ def check_linearizability(
         states_explored=states_explored,
         greedy_reads=greedy_total,
         witness=witness,
-        method="wing-gong",
+        method="wing-gong" if spec is None else f"wing-gong[{spec.name}]",
     )
 
 
@@ -564,6 +621,7 @@ def check_histories_per_key(
     max_states: Optional[int] = None,
     collect_witness: bool = False,
     workers: int = 1,
+    spec: Optional[str] = None,
 ) -> PartitionedCheckReport:
     """Check many independent per-key histories (P-compositional checking).
 
@@ -589,10 +647,13 @@ def check_histories_per_key(
             swmr_fast_path=swmr_fast_path,
             max_states=max_states,
             workers=workers,
+            spec=spec,
         )
     from repro.verification.columnar import ColumnarHistory
     from repro.verification.register_checker import check_swmr_atomicity
+    from repro.verification.specs import get_spec
 
+    spec_obj = get_spec(spec)
     report = PartitionedCheckReport()
     for key, history in histories.items():
         # Columnar histories stay columnar at rest (and on the wire to pool
@@ -601,7 +662,16 @@ def check_histories_per_key(
         # check.  Peak extra memory is a single key's history, not the run's.
         if isinstance(history, ColumnarHistory):
             history = history.to_history()
-        if swmr_fast_path and _swmr_fast_path_applies(history):
+        if spec_obj is not None:
+            # Non-register specs always run the (spec-parametric) search
+            # core; the SWMR claims fast path is register-only.
+            report.per_key[key] = check_linearizability(
+                history,
+                collect_witness=collect_witness,
+                max_states=max_states,
+                spec=spec_obj,
+            )
+        elif swmr_fast_path and _swmr_fast_path_applies(history):
             claims = check_swmr_atomicity(history, raise_on_violation=False)
             completed, pending_writes = _relevant_operations(history)
             report.per_key[key] = CheckResult(

@@ -33,6 +33,9 @@ from repro.transport.base import validate_transport
 #: Supported key-access distributions.
 DISTRIBUTIONS = ("uniform", "zipfian")
 
+#: Operation kinds an ``op_mix`` may mention (consensus-object kinds included).
+MIX_KINDS = ("read", "write", "cas", "tas", "incr")
+
 
 @dataclass(frozen=True)
 class KVOp:
@@ -116,6 +119,18 @@ class KVWorkloadSpec:
     num_keys: int = 16
     num_ops: int = 500
     read_fraction: float = 0.8
+    #: Optional weighted operation mix ``((kind, weight), ...)`` over
+    #: :data:`MIX_KINDS`.  ``None`` (default) keeps the classic two-kind
+    #: read/write stream driven by ``read_fraction`` — byte-identical to
+    #: every pre-existing spec.  When set, each operation's kind is drawn
+    #: from the weighted mix instead and the consensus-object kinds become
+    #: available: ``cas`` operations carry ``(expected, new)`` pairs chained
+    #: through the generator's predicted per-key value (so contention, not
+    #: the script, decides which swaps fail), ``incr`` carries a small
+    #: seeded addend, ``tas`` carries no value.  Mixes must be
+    #: type-consistent (don't combine ``incr`` with string-valued writes —
+    #: the SMR object would add an int to a string).
+    op_mix: Optional[Tuple[Tuple[str, float], ...]] = None
     distribution: str = "uniform"
     zipf_s: float = 1.2
     algorithm: str = "abd"
@@ -170,6 +185,18 @@ class KVWorkloadSpec:
             raise ValueError("operation count must be non-negative")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ValueError(f"read_fraction must be in [0, 1], got {self.read_fraction}")
+        if self.op_mix is not None:
+            if not self.op_mix:
+                raise ValueError("op_mix must name at least one operation kind")
+            for kind, weight in self.op_mix:
+                if kind not in MIX_KINDS:
+                    raise ValueError(
+                        f"unknown op_mix kind {kind!r}; choose from {MIX_KINDS}"
+                    )
+                if weight <= 0:
+                    raise ValueError(
+                        f"op_mix weights must be positive, got {weight} for {kind!r}"
+                    )
         if self.distribution not in DISTRIBUTIONS:
             raise ValueError(
                 f"unknown distribution {self.distribution!r}; choose from {DISTRIBUTIONS}"
@@ -288,14 +315,61 @@ def iter_kv_operations(spec: KVWorkloadSpec) -> Iterator[KVOp]:
             return ranked[rng.randrange(spec.num_keys)]
 
     write_counters: dict[str, int] = {}
+    if spec.op_mix is None:
+        # The classic two-kind stream — draw-for-draw what every earlier
+        # release generated (golden histories depend on it).
+        for index in range(spec.num_ops):
+            key = sample_key()
+            if rng.random() < spec.read_fraction:
+                yield KVOp(index=index, kind=OperationKind.READ, key=key)
+            else:
+                count = write_counters.get(key, 0) + 1
+                write_counters[key] = count
+                yield KVOp(
+                    index=index, kind=OperationKind.WRITE, key=key, value=f"{key}=v{count}"
+                )
+        return
+    # Weighted mix over MIX_KINDS.  CAS pairs chain through the generator's
+    # *predicted* per-key value (what the key would hold if every operation
+    # so far applied in script order): under serial driving every swap
+    # succeeds; under batched/concurrent driving real races decide.
+    kinds = [OperationKind(kind) for kind, _ in spec.op_mix]
+    cumulative = list(itertools.accumulate(weight for _, weight in spec.op_mix))
+    total = cumulative[-1]
+    predicted: dict[str, Any] = {}
+    cas_counters: dict[str, int] = {}
     for index in range(spec.num_ops):
         key = sample_key()
-        if rng.random() < spec.read_fraction:
-            yield KVOp(index=index, kind=OperationKind.READ, key=key)
-        else:
+        kind = kinds[bisect.bisect_left(cumulative, rng.random() * total)]
+        if kind is OperationKind.INCR and isinstance(predicted.get(key), str):
+            # Incrementing a string-valued key is a spec type error (the SMR
+            # spec computes state + addend); the draw degrades to a read so
+            # mixes combining incr with write/cas stay well-typed per key.
+            kind = OperationKind.READ
+        if kind is OperationKind.READ:
+            yield KVOp(index=index, kind=kind, key=key)
+        elif kind is OperationKind.WRITE:
             count = write_counters.get(key, 0) + 1
             write_counters[key] = count
-            yield KVOp(index=index, kind=OperationKind.WRITE, key=key, value=f"{key}=v{count}")
+            value = f"{key}=v{count}"
+            predicted[key] = value
+            yield KVOp(index=index, kind=kind, key=key, value=value)
+        elif kind is OperationKind.CAS:
+            count = cas_counters.get(key, 0) + 1
+            cas_counters[key] = count
+            expected = predicted.get(key, spec.initial_value)
+            new = f"{key}=c{count}"
+            predicted[key] = new
+            yield KVOp(index=index, kind=kind, key=key, value=(expected, new))
+        elif kind is OperationKind.TAS:
+            predicted[key] = True
+            yield KVOp(index=index, kind=kind, key=key)
+        else:  # INCR
+            addend = rng.randrange(1, 8)
+            base = predicted.get(key, spec.initial_value)
+            # Mirror the SMR spec: non-numeric state increments from 0.
+            predicted[key] = (base if isinstance(base, (int, float)) else 0) + addend
+            yield KVOp(index=index, kind=kind, key=key, value=addend)
 
 
 def generate_kv_operations(spec: KVWorkloadSpec) -> List[KVOp]:
@@ -485,8 +559,10 @@ def run_kv_workload(spec: KVWorkloadSpec) -> KVWorkloadResult:
             for scripted in batch:
                 if scripted.kind is OperationKind.WRITE:
                     submitted.append(store.submit_put(scripted.key, scripted.value))
-                else:
+                elif scripted.kind is OperationKind.READ:
                     submitted.append(store.submit_get(scripted.key))
+                else:
+                    submitted.append(store.submit_op(scripted.kind, scripted.key, scripted.value))
             store.drive()
             batches += 1
         finished = all(op.done for op in submitted)

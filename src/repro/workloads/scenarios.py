@@ -380,6 +380,103 @@ def kv_mixed(
     )
 
 
+def kv_cas(
+    num_keys: int = 32,
+    num_ops: int = 600,
+    algorithm: str = "mmr-cas",
+    num_shards: int = 4,
+    replication: int = 3,
+    batch_size: int = 32,
+    seed: int = 12,
+) -> KVWorkloadSpec:
+    """Compare-and-swap objects over MMR consensus under contention.
+
+    Every key is a CAS register served by a consensus-backed state machine
+    (:mod:`repro.consensus`): swaps round-robin over replicas, so several
+    replicas propose for one key concurrently and binary consensus orders
+    them.  CAS pairs chain through the generator's predicted value — whether
+    a swap succeeds is decided by the real interleaving, which is exactly
+    what the SMR-spec linearizability check verifies.  The store starts
+    empty (``initial_value=None``) so the first swap of each key expects
+    "unset".
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        op_mix=(("read", 0.45), ("cas", 0.35), ("write", 0.20)),
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        initial_value=None,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def kv_counter(
+    num_keys: int = 8,
+    num_ops: int = 300,
+    algorithm: str = "mmr-counter",
+    num_shards: int = 2,
+    replication: int = 3,
+    batch_size: int = 16,
+    seed: int = 13,
+) -> KVWorkloadSpec:
+    """Replicated counters over MMR consensus: increments from every replica.
+
+    Counters are the textbook non-commutative-result object (every increment
+    returns the post-increment value), so a lost or doubled increment is
+    immediately visible to the SMR-spec checker.  Keys start at ``None``
+    (read as 0 by the first increment).
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        op_mix=(("read", 0.4), ("incr", 0.6)),
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        initial_value=None,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
+def consensus_smoke(
+    num_keys: int = 6,
+    num_ops: int = 150,
+    algorithm: str = "mmr-cas",
+    num_shards: int = 2,
+    replication: int = 3,
+    batch_size: int = 8,
+    seed: int = 14,
+) -> KVWorkloadSpec:
+    """A small consensus workout: reads, writes, swaps and test-and-sets.
+
+    The quick checker-gated scenario CI runs on both backends — every
+    operation kind the consensus objects serve, few enough operations to
+    finish in seconds, enough key contention that multi-round instances and
+    skip-slot proposals actually occur.
+    """
+    return KVWorkloadSpec(
+        num_keys=num_keys,
+        num_ops=num_ops,
+        op_mix=(("read", 0.40), ("cas", 0.25), ("write", 0.20), ("tas", 0.15)),
+        distribution="uniform",
+        algorithm=algorithm,
+        num_shards=num_shards,
+        replication=replication,
+        batch_size=batch_size,
+        initial_value=None,
+        delay_model=UniformDelay(0.2, 1.0, seed=seed),
+        seed=seed,
+    )
+
+
 def explore_smoke(
     budget: int = 6,
     algorithm: str = "abd",
@@ -470,6 +567,9 @@ SCENARIOS: Dict[str, ScenarioInfo] = {
         _info("kv_openloop", "store", kv_openloop),
         _info("kv_partitioned", "store", kv_partitioned),
         _info("kv_mixed", "store", kv_mixed),
+        _info("kv_cas", "store", kv_cas),
+        _info("kv_counter", "store", kv_counter),
+        _info("consensus_smoke", "store", consensus_smoke),
         _info("chaos", "store", chaos),
         _info("explore_smoke", "explore", explore_smoke),
     )

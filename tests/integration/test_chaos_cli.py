@@ -24,15 +24,21 @@ class TestChaosCli:
         assert payload["mode"] == "quick"
         assert payload["reproducible"] is True
         assert payload["all_atomic"] is True
-        # quick mode: 2 seeds x 2 schedules
-        assert payload["schedules"] == ["kv-partitioned", "delay-storm"]
-        assert len(payload["runs"]) == 4
+        # quick mode: 2 seeds x 3 schedules
+        assert payload["schedules"] == ["kv-partitioned", "delay-storm", "consensus-crash"]
+        assert len(payload["runs"]) == 6
         for run in payload["runs"]:
             assert run["atomic"] and run["finished_cleanly"]
-            assert run["fault_timeline"], "every run carries its fault annotation"
+            assert run["fault_timeline"] or run["server_crashes"], (
+                "every run carries its fault annotation"
+            )
             assert run["per_sender"], "per-sender attribution present"
             vt = run["virtual_throughput"]
             assert vt is None or isinstance(vt, (int, float))
+        consensus_runs = [r for r in payload["runs"] if r["schedule"] == "consensus-crash"]
+        assert consensus_runs, "quick sweep exercises the consensus cells"
+        for run in consensus_runs:
+            assert run["consensus_violations"] == [], "agreement/validity must hold"
 
     def test_nonpositive_seeds_rejected(self, capsys, tmp_path):
         assert main(["chaos", "--seeds", "0", "--out-dir", str(tmp_path)]) == 2
@@ -44,7 +50,7 @@ class TestChaosCli:
         assert code == 0
         payload = strict_loads(tmp_path / "BENCH_chaos.json")
         assert payload["seeds"] == [0]
-        assert len(payload["runs"]) == 2
+        assert len(payload["runs"]) == 3
 
     def test_sweep_output_is_deterministic(self, capsys, tmp_path):
         assert main(["chaos", "--quick", "--seeds", "1", "--out-dir", str(tmp_path / "a")]) == 0

@@ -114,3 +114,46 @@ class TestCrossCodecEquivalence:
         replica_rows = transport["replica_connections"]
         assert set(replica_rows) == {"0", "1", "2"}
         assert all(rows for rows in replica_rows.values())
+
+
+class TestCrossBackendConsensus:
+    def test_sim_and_live_consensus_decide_identically(self):
+        """The same seeded consensus op stream over sim and live sockets.
+
+        Run the ``consensus_smoke`` mix (reads, writes, cas, tas) over MMR
+        consensus on both backends under conditions where the message bill
+        is deterministic: one op in flight (``batch_size=1``) and, on the
+        sim side, FIFO links (``FixedDelay`` — per-link TCP order is what
+        the live transport guarantees).  Every operation must produce the
+        identical result, both histories must pass the SMR-spec checker,
+        and the backends must exchange exactly the same number of protocol
+        messages (EST/AUX/COIN/DECIDE rounds are schedule-independent in
+        this regime).
+        """
+        from repro.sim.delays import FixedDelay
+        from repro.workloads.scenarios import consensus_smoke
+
+        spec = consensus_smoke(num_ops=60).with_(
+            batch_size=1, delay_model=FixedDelay(1.0)
+        )
+        sim = run_kv_workload(spec)
+        live = run_kv_workload(spec.with_(transport="live"))
+
+        assert sim.finished_cleanly and live.finished_cleanly
+        assert len(sim.completed_ops()) == 60 and live.completed == 60
+
+        def op_results(histories):
+            return {
+                key: [
+                    (record.kind.value, record.value, record.result)
+                    for record in histories[key].operations
+                ]
+                for key in histories
+            }
+
+        sim_hist, live_hist = sim.store.histories(), live.histories()
+        assert set(sim_hist) == set(live_hist)
+        assert op_results(sim_hist) == op_results(live_hist)
+        assert sim.store.check_linearizability(swmr_fast_path=False).ok
+        assert live.check_linearizability(swmr_fast_path=False).ok
+        assert sim.total_messages() == live.messages_total
